@@ -1,0 +1,143 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each benchmark runs
+// the corresponding experiment end to end — workload generation, mining,
+// and storage simulation — and reports the headline metric through b.Log
+// and custom metrics, so `go test -bench=Fig7 -v` reproduces the artifact.
+package farmer_test
+
+import (
+	"testing"
+
+	"farmer/internal/exp"
+)
+
+// benchRecords keeps full-pipeline benchmarks tractable; farmerctl runs the
+// larger default scale.
+const benchRecords = 15000
+
+func benchOpt() exp.Options { return exp.Options{Records: benchRecords} }
+
+// BenchmarkFig1InterFileAccessProbability regenerates Figure 1.
+func BenchmarkFig1InterFileAccessProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.Fig1(benchOpt())
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkTable2DPAvsIPA regenerates the Table 2 worked example.
+func BenchmarkTable2DPAvsIPA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.Table2()
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkFig3WeightSweep regenerates Figure 3 for the HP trace (the other
+// traces follow the same driver; see farmerctl fig3).
+func BenchmarkFig3WeightSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.Fig3(benchOpt(), "HP")
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkFig5AttributeCombinations regenerates the Figure 5 table (15
+// attribute combinations x 3 traces = 45 simulations).
+func BenchmarkFig5AttributeCombinations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.Fig5(benchOpt())
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkFig6MaxStrength regenerates Figure 6.
+func BenchmarkFig6MaxStrength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.Fig6(benchOpt())
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkFig7HitRatioComparison regenerates Figure 7 and reports the HP
+// hit ratios as custom metrics.
+func BenchmarkFig7HitRatioComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := exp.ComparePolicies(benchOpt())
+		if i == 0 {
+			b.Log("\n" + exp.Fig7(runs).String())
+			for _, r := range runs {
+				if r.Trace == "HP" {
+					b.ReportMetric(r.HitRatio, "hit@HP/"+r.Policy)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig8ResponseTime regenerates Figure 8.
+func BenchmarkFig8ResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := exp.ComparePolicies(benchOpt())
+		if i == 0 {
+			b.Log("\n" + exp.Fig8(runs).String())
+		}
+	}
+}
+
+// BenchmarkTable3PrefetchAccuracy regenerates Table 3.
+func BenchmarkTable3PrefetchAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := exp.ComparePolicies(benchOpt())
+		if i == 0 {
+			b.Log("\n" + exp.Table3(runs).String())
+			for _, r := range runs {
+				if r.Trace == "HP" && r.Policy != "LRU" {
+					b.ReportMetric(r.Accuracy, "accuracy/"+r.Policy)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable4SpaceOverhead regenerates Table 4.
+func BenchmarkTable4SpaceOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.Table4(benchOpt())
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkAblationFootprint regenerates the §3.3 filtering-efficiency
+// ablation.
+func BenchmarkAblationFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.AblationFootprint(benchOpt(), "HP")
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkMiningQuality scores every predictor's mined correlations against
+// ground truth (the paper's "more accurately" claim).
+func BenchmarkMiningQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.MiningQuality(benchOpt())
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}

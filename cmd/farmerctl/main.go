@@ -1,0 +1,124 @@
+// Command farmerctl regenerates the paper's figures and tables from the
+// synthetic workloads and the storage-system simulator.
+//
+// Usage:
+//
+//	farmerctl [-records N] [-parallel N] <experiment>...
+//
+// Experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 table3 table4 ablation
+// all. fig3 accepts -trace (default runs all four traces).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"farmer/internal/exp"
+)
+
+func main() {
+	records := flag.Int("records", 30000, "records per generated trace")
+	parallelism := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	traceName := flag.String("trace", "", "trace for fig3/ablation (LLNL, INS, RES, HP; empty = all/HP)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opt := exp.Options{Records: *records, Parallelism: *parallelism}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"fig1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "ablation", "quality"}
+	}
+
+	var comparison []exp.PolicyRun
+	needComparison := func() []exp.PolicyRun {
+		if comparison == nil {
+			comparison = exp.ComparePolicies(opt)
+		}
+		return comparison
+	}
+
+	for _, cmd := range args {
+		switch strings.ToLower(cmd) {
+		case "fig1":
+			section("Figure 1 — inter-file access probability per attribute conditioning")
+			fmt.Println(exp.Fig1(opt))
+		case "table2":
+			section("Table 2 — DPA vs IPA on the paper's worked example")
+			fmt.Println(exp.Table2())
+		case "fig3":
+			traces := []string{"LLNL", "INS", "RES", "HP"}
+			if *traceName != "" {
+				traces = []string{*traceName}
+			}
+			for _, tr := range traces {
+				section(fmt.Sprintf("Figure 3 — hit ratio vs max_strength per weight p (%s)", tr))
+				fmt.Println(exp.Fig3(opt, tr))
+			}
+		case "fig5":
+			section("Figure 5 — hit ratio per attribute combination")
+			fmt.Println(exp.Fig5(opt))
+		case "fig6":
+			section("Figure 6 — avg response time vs max_strength (HP)")
+			fmt.Println(exp.Fig6(opt))
+		case "fig7":
+			section("Figure 7 — cache hit ratio comparison")
+			fmt.Println(exp.Fig7(needComparison()))
+		case "fig8":
+			section("Figure 8 — average response time comparison")
+			fmt.Println(exp.Fig8(needComparison()))
+		case "table3":
+			section("Table 3 — prefetching accuracy (HP)")
+			fmt.Println(exp.Table3(needComparison()))
+		case "table4":
+			section("Table 4 — FARMER space overhead (max_strength = 0.4)")
+			fmt.Println(exp.Table4(opt))
+		case "quality":
+			section("Mining quality — precision/recall/F1 vs ground truth (k=4)")
+			fmt.Println(exp.MiningQuality(opt))
+		case "ablation":
+			tr := *traceName
+			if tr == "" {
+				tr = "HP"
+			}
+			section(fmt.Sprintf("Ablation — threshold filtering footprint (%s)", tr))
+			fmt.Println(exp.AblationFootprint(opt, tr))
+		default:
+			fmt.Fprintf(os.Stderr, "farmerctl: unknown experiment %q\n", cmd)
+			os.Exit(2)
+		}
+	}
+}
+
+func section(title string) {
+	fmt.Printf("== %s ==\n", title)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `farmerctl regenerates the FARMER paper's evaluation artifacts.
+
+usage: farmerctl [flags] <experiment>...
+
+experiments:
+  fig1     inter-file access probability per attribute (paper Fig. 1)
+  table2   DPA vs IPA worked example (paper Table 2)
+  fig3     hit ratio vs max_strength for p in {0,0.3,0.7,1} (paper Fig. 3)
+  fig5     hit ratio per attribute combination (paper Fig. 5)
+  fig6     response time vs max_strength on HP (paper Fig. 6)
+  fig7     hit ratio: FARMER vs Nexus vs LRU (paper Fig. 7)
+  fig8     response time: FARMER vs Nexus vs LRU (paper Fig. 8)
+  table3   prefetching accuracy on HP (paper Table 3)
+  table4   space overhead per trace (paper Table 4)
+  ablation filtered vs unfiltered footprint (paper §3.3)
+  quality  mining precision/recall/F1 vs ground truth (core claim)
+  all      everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}

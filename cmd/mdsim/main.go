@@ -1,0 +1,114 @@
+// Command mdsim replays a trace (from a file or generated on the fly)
+// through the simulated HUSt metadata server under a chosen prefetch policy
+// and reports hit ratio, prefetching accuracy and response time.
+//
+// Usage:
+//
+//	mdsim -profile HP -records 50000 -policy farmer
+//	mdsim -in trace.bin -policy nexus -cache 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"farmer/internal/core"
+	"farmer/internal/hust"
+	"farmer/internal/predictors"
+	"farmer/internal/sim"
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+	"farmer/internal/vsm"
+)
+
+func main() {
+	profile := flag.String("profile", "HP", "generate this workload profile (ignored with -in)")
+	records := flag.Int("records", 50000, "records to generate (ignored with -in)")
+	in := flag.String("in", "", "read a trace file instead of generating (text or binary)")
+	policy := flag.String("policy", "farmer", "prefetch policy: farmer, nexus, lru, ls, pbs, puls, probgraph")
+	cacheCap := flag.Int("cache", 256, "metadata cache capacity (entries)")
+	prefetchK := flag.Int("k", 4, "prefetch degree")
+	weight := flag.Float64("p", 0.7, "FARMER weight p")
+	maxStrength := flag.Float64("strength", 0.4, "FARMER max_strength threshold")
+	flag.Parse()
+
+	t, err := load(*in, *profile, *records)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := hust.DefaultReplayConfig()
+	cfg.MDS.CacheCapacity = *cacheCap
+	cfg.MDS.PrefetchK = *prefetchK
+
+	factory := func(e *sim.Engine) (*hust.MDS, error) {
+		p, err := buildPredictor(*policy, t, *weight, *maxStrength)
+		if err != nil {
+			return nil, err
+		}
+		return hust.NewMDS(e, cfg.MDS, nil, p)
+	}
+	start := time.Now()
+	res, err := hust.Replay(t, cfg, factory)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace=%s policy=%s records=%d wall=%v\n", res.Trace, res.Policy, res.Stats.Demand, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  hit ratio          %.4f\n", res.Stats.Cache.HitRatio())
+	fmt.Printf("  prefetch accuracy  %.4f (%d issued)\n", res.Stats.Cache.PrefetchAccuracy(), res.Stats.PrefetchIssued)
+	fmt.Printf("  avg response       %v\n", res.Stats.AvgResponse)
+	fmt.Printf("  p95 response       %v\n", res.Stats.P95Response)
+	fmt.Printf("  avg demand wait    %v\n", res.Stats.AvgDemandWait)
+	fmt.Printf("  MDS utilisation    %.3f\n", res.Stats.Utilization)
+	fmt.Printf("  store reads        %d\n", res.Stats.StoreReads)
+	fmt.Printf("  client avg (RTT)   %v\n", res.ClientAvg)
+}
+
+func load(in, profile string, records int) (*trace.Trace, error) {
+	if in == "" {
+		p, ok := tracegen.ByName(profile, records)
+		if !ok {
+			return nil, fmt.Errorf("unknown profile %q", profile)
+		}
+		return p.Generate()
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(in, ".bin") {
+		return trace.ReadBinary(f)
+	}
+	return trace.ReadText(f)
+}
+
+func buildPredictor(name string, t *trace.Trace, weight, maxStrength float64) (predictors.Predictor, error) {
+	switch strings.ToLower(name) {
+	case "farmer":
+		cfg := core.DefaultConfig()
+		cfg.Weight = weight
+		cfg.MaxStrength = maxStrength
+		cfg.Mask = vsm.DefaultMask(t.HasPaths)
+		return predictors.NewFPA(core.New(cfg)), nil
+	case "nexus":
+		return predictors.NewNexus(predictors.DefaultNexusConfig()), nil
+	case "lru", "none":
+		return predictors.NewNone(), nil
+	case "ls":
+		return predictors.NewLastSuccessor(), nil
+	case "pbs":
+		return predictors.NewPBS(), nil
+	case "puls":
+		return predictors.NewPULS(), nil
+	case "probgraph":
+		return predictors.NewProbabilityGraph(2, 0.1), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

@@ -1,0 +1,74 @@
+// Command tracegen emits a synthetic file-system trace in the repository's
+// text or binary format.
+//
+// Usage:
+//
+//	tracegen -profile HP -records 100000 [-format text|binary] [-o file] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+)
+
+func main() {
+	profile := flag.String("profile", "HP", "workload profile: LLNL, INS, RES or HP")
+	records := flag.Int("records", 100000, "number of records to generate")
+	format := flag.String("format", "text", "output format: text or binary")
+	out := flag.String("o", "", "output file (default stdout)")
+	seed := flag.Uint64("seed", 0, "override the profile's seed (0 keeps the default)")
+	stats := flag.Bool("stats", false, "print a summary to stderr")
+	flag.Parse()
+
+	p, ok := tracegen.ByName(*profile, *records)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q (want LLNL, INS, RES or HP)\n", *profile)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	t, err := p.Generate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: closing output: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+
+	switch *format {
+	case "text":
+		err = trace.WriteText(w, t)
+	case "binary":
+		err = trace.WriteBinary(w, t)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, trace.Summarize(t))
+	}
+}

@@ -1,0 +1,114 @@
+// Package farmer is the public API of this FARMER reproduction: a File
+// Access coRrelation Mining and Evaluation Reference model (Xia, Feng,
+// Jiang, Tian, Wang — UNL CSE TR-2008-0001 / HPDC'08) together with the
+// substrates its evaluation needs (synthetic workload generators, an
+// object-based storage-system simulator, and the Nexus/LRU baselines).
+//
+// # Quick start
+//
+//	model := farmer.New(farmer.DefaultConfig())
+//	for _, r := range workload.Records {
+//		model.Feed(&r)
+//	}
+//	next := model.Predict(fileID, 4) // prefetch candidates, strongest first
+//
+// The model combines semantic-attribute similarity (Vector Space Model over
+// user/process/host/path attributes) with access-sequence frequency (linear
+// decremented assignment over a lookahead window) into the correlation
+// degree R(x,y) = p·sim(x,y) + (1−p)·F(x,y), keeps only degrees above the
+// max_strength validity threshold, and maintains a sorted Correlator List
+// per file.
+//
+// See the examples directory for runnable demonstrations, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured record of
+// every reproduced figure and table.
+package farmer
+
+import (
+	"farmer/internal/core"
+	"farmer/internal/graph"
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+	"farmer/internal/vsm"
+)
+
+// Core model types, re-exported.
+type (
+	// Config is the FARMER model configuration (weight p, max_strength
+	// threshold, attribute mask, graph window).
+	Config = core.Config
+	// Model is the streaming four-stage FARMER miner.
+	Model = core.Model
+	// Correlator is one Correlator-List entry: a successor with its
+	// correlation degree and the degree's two components.
+	Correlator = core.Correlator
+	// ModelStats is a footprint snapshot used by the space-overhead
+	// experiments.
+	ModelStats = core.Stats
+)
+
+// Trace model types, re-exported.
+type (
+	// Record is one file request with semantic attributes.
+	Record = trace.Record
+	// Trace is an ordered sequence of Records plus schema metadata.
+	Trace = trace.Trace
+	// FileID identifies a file within a trace.
+	FileID = trace.FileID
+	// WorkloadProfile parameterises the synthetic workload generators.
+	WorkloadProfile = tracegen.Profile
+)
+
+// Semantic attribute machinery, re-exported.
+type (
+	// Attr is a semantic attribute (user, process, host, path, file id).
+	Attr = vsm.Attr
+	// AttrMask is a set of attributes enabled for similarity mining.
+	AttrMask = vsm.Mask
+)
+
+// Attribute constants.
+const (
+	AttrUser    = vsm.AttrUser
+	AttrProcess = vsm.AttrProcess
+	AttrHost    = vsm.AttrHost
+	AttrPath    = vsm.AttrPath
+	AttrFileID  = vsm.AttrFileID
+	AttrDevice  = vsm.AttrDevice
+)
+
+// New creates a FARMER model. It panics on an invalid configuration; use
+// Config.Validate to check first.
+func New(cfg Config) *Model { return core.New(cfg) }
+
+// DefaultConfig returns the paper's chosen parameters: weight p = 0.7,
+// max_strength = 0.4, IPA path handling, window-3 linear decremented
+// assignment, and the full {User, Process, Host, File Path} attribute mask.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// ConfigFor returns the default configuration adapted to a trace's schema:
+// path attributes when available, file-id + device otherwise.
+func ConfigFor(t *Trace) Config {
+	cfg := core.DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(t.HasPaths)
+	cfg.Graph = graph.DefaultConfig()
+	return cfg
+}
+
+// MaskOf builds an attribute mask.
+func MaskOf(attrs ...Attr) AttrMask { return vsm.MaskOf(attrs...) }
+
+// Workload profiles matching the paper's four traces.
+var (
+	// LLNL builds the parallel-scientific profile (800-node cluster).
+	LLNL = tracegen.LLNL
+	// INS builds the instructional-lab profile (HP-UX, 20 machines).
+	INS = tracegen.INS
+	// RES builds the research-desktop profile (HP-UX, 13 machines).
+	RES = tracegen.RES
+	// HP builds the 236-user time-sharing-server profile.
+	HP = tracegen.HP
+)
+
+// Generate builds a synthetic trace from a profile.
+func Generate(p WorkloadProfile) (*Trace, error) { return p.Generate() }

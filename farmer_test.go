@@ -1,0 +1,77 @@
+package farmer_test
+
+import (
+	"testing"
+
+	"farmer"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	tr, err := farmer.Generate(farmer.HP(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := farmer.New(farmer.ConfigFor(tr))
+	for i := range tr.Records {
+		model.Feed(&tr.Records[i])
+	}
+	if model.Fed() != 5000 {
+		t.Fatalf("fed %d", model.Fed())
+	}
+	// Some file must have prefetch candidates.
+	found := false
+	for f := 0; f < tr.FileCount && !found; f++ {
+		if len(model.Predict(farmer.FileID(f), 4)) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no predictions from a correlated workload")
+	}
+}
+
+func TestPublicAPIMasks(t *testing.T) {
+	m := farmer.MaskOf(farmer.AttrUser, farmer.AttrProcess)
+	if !m.Has(farmer.AttrUser) || m.Has(farmer.AttrPath) {
+		t.Fatal("mask composition broken")
+	}
+	cfg := farmer.DefaultConfig()
+	cfg.Mask = m
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigForSchema(t *testing.T) {
+	hp, _ := farmer.Generate(farmer.HP(100))
+	ins, _ := farmer.Generate(farmer.INS(100))
+	if !farmer.ConfigFor(hp).Mask.Has(farmer.AttrPath) {
+		t.Fatal("HP config should use path attribute")
+	}
+	if !farmer.ConfigFor(ins).Mask.Has(farmer.AttrFileID) {
+		t.Fatal("INS config should use file-id attribute")
+	}
+}
+
+func TestCorrelatorListExposed(t *testing.T) {
+	tr, _ := farmer.Generate(farmer.HP(5000))
+	model := farmer.New(farmer.ConfigFor(tr))
+	for i := range tr.Records {
+		model.Feed(&tr.Records[i])
+	}
+	var list []farmer.Correlator
+	for f := 0; f < tr.FileCount; f++ {
+		if l := model.CorrelatorList(farmer.FileID(f)); len(l) > 0 {
+			list = l
+			break
+		}
+	}
+	if list == nil {
+		t.Fatal("no correlator lists")
+	}
+	for _, c := range list {
+		if c.Degree <= 0.4 { // default max_strength
+			t.Fatalf("entry below threshold leaked: %+v", c)
+		}
+	}
+}

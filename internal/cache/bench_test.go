@@ -1,0 +1,32 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"farmer/internal/trace"
+)
+
+// BenchmarkAccess measures demand lookups with eviction pressure.
+func BenchmarkAccess(b *testing.B) {
+	c := NewLRU(1024)
+	rng := rand.New(rand.NewPCG(1, 1))
+	ids := make([]trace.FileID, 8192)
+	for i := range ids {
+		ids[i] = trace.FileID(rng.IntN(4096))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(ids[i%len(ids)])
+	}
+}
+
+// BenchmarkPrefetch measures prefetch insertions.
+func BenchmarkPrefetch(b *testing.B) {
+	c := NewLRU(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Prefetch(trace.FileID(i % 4096))
+	}
+}

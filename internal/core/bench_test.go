@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+)
+
+// BenchmarkFeed measures the per-request cost of the full four-stage
+// pipeline (§3.3's efficiency claim: O(window + list) per access).
+func BenchmarkFeed(b *testing.B) {
+	tr := tracegen.HP(50000).MustGenerate()
+	m := New(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Feed(&tr.Records[i%len(tr.Records)])
+	}
+}
+
+// BenchmarkPredict measures prefetch-candidate lookup on a mined model.
+func BenchmarkPredict(b *testing.B) {
+	tr := tracegen.HP(50000).MustGenerate()
+	m := New(DefaultConfig())
+	m.FeedTrace(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(trace.FileID(i%tr.FileCount), 4)
+	}
+}
+
+// BenchmarkFeedNoSemantics isolates the sequence-mining cost (p = 0 path).
+func BenchmarkFeedNoSemantics(b *testing.B) {
+	tr := tracegen.HP(50000).MustGenerate()
+	cfg := DefaultConfig()
+	cfg.Weight = 0
+	m := New(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Feed(&tr.Records[i%len(tr.Records)])
+	}
+}

@@ -1,0 +1,317 @@
+// Package core implements the FARMER model itself (paper §3): a streaming
+// four-stage pipeline —
+//
+//	Stage 1 Extracting:  pull semantic attributes out of each file request
+//	                     (delegated to vsm.Extractor);
+//	Stage 2 Constructing: maintain the directed, weighted correlation graph
+//	                     over the access sequence (delegated to graph.Graph
+//	                     with Linear Decremented Assignment);
+//	Stage 3 Mining & Evaluating (CoMiner): combine semantic distance and
+//	                     access frequency into the file correlation degree
+//	                     R(x,y) = p·sim(x,y) + (1−p)·F(x,y) and filter out
+//	                     degrees below the max_strength validity threshold;
+//	Stage 4 Sorting:     keep each file's surviving successors in a
+//	                     Correlator List ordered by decreasing degree.
+//
+// The model is incremental: every Feed updates only the lists of the files in
+// the current lookahead window, so a single pass over a trace produces the
+// complete correlation knowledge and Predict is O(1) lookups thereafter.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"farmer/internal/graph"
+	"farmer/internal/trace"
+	"farmer/internal/vsm"
+)
+
+// Config sets the FARMER parameters. The zero value is unusable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Weight is p in R = p·sim + (1−p)·F. The paper finds p = 0.7 best.
+	Weight float64
+	// MaxStrength is the validity threshold (paper §3.2.4): correlations
+	// with degree <= MaxStrength are filtered out. Despite the name it is a
+	// lower bound — the paper's terminology is kept verbatim.
+	MaxStrength float64
+	// Mask selects the semantic attributes used by CoMiner.
+	Mask vsm.Mask
+	// PathAlg selects DPA or IPA path handling; the paper uses IPA.
+	PathAlg vsm.PathAlg
+	// Graph configures the Stage-2 correlation graph.
+	Graph graph.Config
+	// MaxCorrelators bounds each Correlator List; 0 means unbounded.
+	MaxCorrelators int
+}
+
+// DefaultConfig returns the paper's chosen parameters for a trace with full
+// path attributes: p = 0.7, max_strength = 0.4, IPA, window 3.
+func DefaultConfig() Config {
+	return Config{
+		Weight:         0.7,
+		MaxStrength:    0.4,
+		Mask:           vsm.AllPathMask,
+		PathAlg:        vsm.IPA,
+		Graph:          graph.DefaultConfig(),
+		MaxCorrelators: 16,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Weight < 0 || c.Weight > 1 {
+		return fmt.Errorf("core: weight p = %v outside [0,1]", c.Weight)
+	}
+	if c.MaxStrength < 0 || c.MaxStrength > 1 {
+		return fmt.Errorf("core: max_strength = %v outside [0,1]", c.MaxStrength)
+	}
+	if c.MaxCorrelators < 0 {
+		return fmt.Errorf("core: negative MaxCorrelators %d", c.MaxCorrelators)
+	}
+	return nil
+}
+
+// Correlator is one entry of a file's Correlator List: a successor together
+// with the evaluated correlation degree and its two components.
+type Correlator struct {
+	File   trace.FileID
+	Degree float64 // R(x,y)
+	Sim    float64 // semantic distance component
+	Freq   float64 // access-frequency component
+}
+
+// Model is the FARMER correlation miner. Feed must be called from a single
+// goroutine; Predict/CorrelatorList/stats methods are safe to call
+// concurrently with each other and with Feed.
+type Model struct {
+	cfg       Config
+	extractor *vsm.Extractor
+
+	mu      sync.RWMutex
+	g       *graph.Graph
+	vectors map[trace.FileID]vsm.Vector
+	lists   map[trace.FileID][]Correlator
+	window  []trace.FileID // recent accesses, oldest first
+	fed     uint64
+}
+
+// New creates a model; it panics on invalid configuration (programmer
+// error), matching the constructor conventions of the stdlib.
+func New(cfg Config) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	ex := vsm.NewExtractor(cfg.Mask)
+	ex.Alg = cfg.PathAlg
+	return &Model{
+		cfg:       cfg,
+		extractor: ex,
+		g:         graph.New(cfg.Graph),
+		vectors:   make(map[trace.FileID]vsm.Vector),
+		lists:     make(map[trace.FileID][]Correlator),
+	}
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Feed runs all four stages for one file request.
+func (m *Model) Feed(r *trace.Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Stage 1: Extracting.
+	v := m.extractor.Extract(r)
+	m.vectors[r.File] = v
+
+	// Stage 2: Constructing. Credit every file in the lookahead window.
+	m.g.Feed(r.File)
+
+	// Stage 3+4: Mining & Evaluating + Sorting, for each predecessor whose
+	// edge to r.File just changed.
+	for _, pred := range m.window {
+		if pred == r.File {
+			continue
+		}
+		m.evaluate(pred, r.File)
+	}
+
+	m.window = append(m.window, r.File)
+	if w := m.cfg.Graph.Window; w > 0 && len(m.window) > w {
+		copy(m.window, m.window[1:])
+		m.window = m.window[:w]
+	}
+	m.fed++
+}
+
+// evaluate recomputes R(pred, succ) and updates pred's Correlator List,
+// holding m.mu.
+func (m *Model) evaluate(pred, succ trace.FileID) {
+	vp, okP := m.vectors[pred]
+	vs, okS := m.vectors[succ]
+	var sim float64
+	if okP && okS {
+		sim = vsm.Sim(&vp, &vs, m.cfg.PathAlg)
+	}
+	freq := m.g.Frequency(pred, succ)
+	degree := m.cfg.Weight*sim + (1-m.cfg.Weight)*freq
+
+	list := m.lists[pred]
+	idx := -1
+	for i := range list {
+		if list[i].File == succ {
+			idx = i
+			break
+		}
+	}
+	if degree <= m.cfg.MaxStrength {
+		// Filtered out as invalid (paper §3.2.4); drop a stale entry.
+		if idx >= 0 {
+			list = append(list[:idx], list[idx+1:]...)
+			if len(list) == 0 {
+				delete(m.lists, pred)
+			} else {
+				m.lists[pred] = list
+			}
+		}
+		return
+	}
+	entry := Correlator{File: succ, Degree: degree, Sim: sim, Freq: freq}
+	if idx >= 0 {
+		list[idx] = entry
+	} else {
+		list = append(list, entry)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Degree != list[j].Degree {
+			return list[i].Degree > list[j].Degree
+		}
+		return list[i].File < list[j].File
+	})
+	if m.cfg.MaxCorrelators > 0 && len(list) > m.cfg.MaxCorrelators {
+		list = list[:m.cfg.MaxCorrelators]
+	}
+	m.lists[pred] = list
+}
+
+// FeedTrace feeds every record of a trace in order.
+func (m *Model) FeedTrace(t *trace.Trace) {
+	for i := range t.Records {
+		m.Feed(&t.Records[i])
+	}
+}
+
+// CorrelatorList returns a copy of the file's sorted Correlator List (nil
+// when the file has no valid correlations).
+func (m *Model) CorrelatorList(f trace.FileID) []Correlator {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	list := m.lists[f]
+	if len(list) == 0 {
+		return nil
+	}
+	return append([]Correlator(nil), list...)
+}
+
+// Predict returns up to k successor files of f in decreasing correlation
+// degree — the prefetch candidates FPA issues for a demand access to f.
+func (m *Model) Predict(f trace.FileID, k int) []trace.FileID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	list := m.lists[f]
+	if k > len(list) {
+		k = len(list)
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]trace.FileID, k)
+	for i := 0; i < k; i++ {
+		out[i] = list[i].File
+	}
+	return out
+}
+
+// Degree returns R(x,y) as currently recorded in x's Correlator List, or 0
+// when the pair was filtered out.
+func (m *Model) Degree(x, y trace.FileID) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, c := range m.lists[x] {
+		if c.File == y {
+			return c.Degree
+		}
+	}
+	return 0
+}
+
+// Fed reports how many records have been processed.
+func (m *Model) Fed() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.fed
+}
+
+// Stats summarises model state for the space-overhead experiment.
+type Stats struct {
+	Fed          uint64
+	TrackedFiles int // files with a stored semantic vector
+	Lists        int // files with a non-empty Correlator List
+	Correlators  int // total list entries
+	GraphNodes   int
+	GraphEdges   int
+	MemoryBytes  int64 // estimated footprint of correlation state
+}
+
+// Stats returns a snapshot of the model's footprint.
+func (m *Model) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := Stats{
+		Fed:          m.fed,
+		TrackedFiles: len(m.vectors),
+		Lists:        len(m.lists),
+		GraphNodes:   m.g.Nodes(),
+		GraphEdges:   m.g.Edges(),
+	}
+	for _, l := range m.lists {
+		s.Correlators += len(l)
+	}
+	// Correlator list entries: File + Degree + Sim + Freq.
+	const corrBytes = 32
+	const listOverhead = 48
+	const vecOverhead = 48
+	var vecBytes int64
+	for _, v := range m.vectors {
+		vecBytes += vecOverhead + int64(len(v.Path))
+		for _, sc := range v.Scalars {
+			vecBytes += int64(len(sc)) + 16
+		}
+	}
+	s.MemoryBytes = m.g.MemoryBytes() +
+		int64(s.Correlators)*corrBytes +
+		int64(s.Lists)*listOverhead +
+		vecBytes
+	return s
+}
+
+// Vector returns the last semantic vector extracted for a file and whether
+// the file has been seen.
+func (m *Model) Vector(f trace.FileID) (vsm.Vector, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok := m.vectors[f]
+	return v, ok
+}
+
+// ResetWindow forgets the current lookahead window (stream boundary) while
+// keeping all mined knowledge.
+func (m *Model) ResetWindow() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.window = m.window[:0]
+	m.g.ResetWindow()
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"farmer/internal/kvstore"
+	"farmer/internal/trace"
+	"farmer/internal/vsm"
+)
+
+// Persistence: the HUSt prototype stores file correlation information —
+// Correlator Lists and the semantic vectors backing them — in Berkeley DB
+// (paper §5.1). SaveTo/LoadFrom provide the same round trip against the
+// repository's kvstore so a mined model survives MDS restarts.
+//
+// Key layout (all keys are prefixed so model state can share a store with
+// file metadata):
+//
+//	c/<fileID>  Correlator List: count, then (file, degree, sim, freq)*
+//	v/<fileID>  semantic vector: scalar count, scalars, path
+//	m/config    weight, maxStrength, fed counter
+
+const (
+	keyPrefixList   = "c/"
+	keyPrefixVector = "v/"
+	keyConfig       = "m/config"
+)
+
+func listKey(f trace.FileID) []byte {
+	k := make([]byte, len(keyPrefixList)+4)
+	copy(k, keyPrefixList)
+	binary.BigEndian.PutUint32(k[len(keyPrefixList):], uint32(f))
+	return k
+}
+
+func vectorKey(f trace.FileID) []byte {
+	k := make([]byte, len(keyPrefixVector)+4)
+	copy(k, keyPrefixVector)
+	binary.BigEndian.PutUint32(k[len(keyPrefixVector):], uint32(f))
+	return k
+}
+
+// SaveTo writes the model's mined state (Correlator Lists, semantic vectors
+// and the tunables needed to keep mining) into the store.
+func (m *Model) SaveTo(s *kvstore.Store) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	var buf bytes.Buffer
+	putU32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	putF64 := func(v float64) { binary.Write(&buf, binary.LittleEndian, math.Float64bits(v)) }
+	putStr := func(v string) {
+		putU32(uint32(len(v)))
+		buf.WriteString(v)
+	}
+
+	for f, list := range m.lists {
+		buf.Reset()
+		putU32(uint32(len(list)))
+		for _, c := range list {
+			putU32(uint32(c.File))
+			putF64(c.Degree)
+			putF64(c.Sim)
+			putF64(c.Freq)
+		}
+		if err := s.Put(listKey(f), buf.Bytes()); err != nil {
+			return fmt.Errorf("core: saving list %d: %w", f, err)
+		}
+	}
+	for f, v := range m.vectors {
+		buf.Reset()
+		putU32(uint32(len(v.Scalars)))
+		for _, sc := range v.Scalars {
+			putStr(sc)
+		}
+		putStr(v.Path)
+		if err := s.Put(vectorKey(f), buf.Bytes()); err != nil {
+			return fmt.Errorf("core: saving vector %d: %w", f, err)
+		}
+	}
+	buf.Reset()
+	putF64(m.cfg.Weight)
+	putF64(m.cfg.MaxStrength)
+	binary.Write(&buf, binary.LittleEndian, m.fed)
+	if err := s.Put([]byte(keyConfig), buf.Bytes()); err != nil {
+		return fmt.Errorf("core: saving config: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom restores mined state saved by SaveTo into a freshly-constructed
+// model. The model's configuration must match the persisted weight and
+// threshold (guarding against silently mixing incompatible parameters).
+func (m *Model) LoadFrom(s *kvstore.Store) error {
+	raw, ok := s.Get([]byte(keyConfig))
+	if !ok {
+		return fmt.Errorf("core: store has no persisted model")
+	}
+	if len(raw) != 24 {
+		return fmt.Errorf("core: corrupt persisted config (%d bytes)", len(raw))
+	}
+	weight := math.Float64frombits(binary.LittleEndian.Uint64(raw[0:8]))
+	strength := math.Float64frombits(binary.LittleEndian.Uint64(raw[8:16]))
+	fed := binary.LittleEndian.Uint64(raw[16:24])
+	if weight != m.cfg.Weight || strength != m.cfg.MaxStrength {
+		return fmt.Errorf("core: persisted parameters (p=%v, max_strength=%v) differ from model (p=%v, max_strength=%v)",
+			weight, strength, m.cfg.Weight, m.cfg.MaxStrength)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fed = fed
+
+	var loadErr error
+	s.Scan([]byte(keyPrefixList), []byte(keyPrefixList+"\xff"), func(k, v []byte) bool {
+		if len(k) != len(keyPrefixList)+4 {
+			loadErr = fmt.Errorf("core: bad list key %q", k)
+			return false
+		}
+		f := trace.FileID(binary.BigEndian.Uint32(k[len(keyPrefixList):]))
+		list, err := decodeList(v)
+		if err != nil {
+			loadErr = fmt.Errorf("core: list %d: %w", f, err)
+			return false
+		}
+		m.lists[f] = list
+		return true
+	})
+	if loadErr != nil {
+		return loadErr
+	}
+	s.Scan([]byte(keyPrefixVector), []byte(keyPrefixVector+"\xff"), func(k, v []byte) bool {
+		if len(k) != len(keyPrefixVector)+4 {
+			loadErr = fmt.Errorf("core: bad vector key %q", k)
+			return false
+		}
+		f := trace.FileID(binary.BigEndian.Uint32(k[len(keyPrefixVector):]))
+		vec, err := decodeVector(v)
+		if err != nil {
+			loadErr = fmt.Errorf("core: vector %d: %w", f, err)
+			return false
+		}
+		m.vectors[f] = vec
+		return true
+	})
+	return loadErr
+}
+
+func decodeList(raw []byte) ([]Correlator, error) {
+	r := bytes.NewReader(raw)
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int(n) > len(raw)/28+1 {
+		return nil, fmt.Errorf("unreasonable list length %d", n)
+	}
+	list := make([]Correlator, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var f uint32
+		var deg, sim, freq uint64
+		if err := binary.Read(r, binary.LittleEndian, &f); err != nil {
+			return nil, err
+		}
+		for _, dst := range []*uint64{&deg, &sim, &freq} {
+			if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+				return nil, err
+			}
+		}
+		list = append(list, Correlator{
+			File:   trace.FileID(f),
+			Degree: math.Float64frombits(deg),
+			Sim:    math.Float64frombits(sim),
+			Freq:   math.Float64frombits(freq),
+		})
+	}
+	return list, nil
+}
+
+func decodeVector(raw []byte) (vsm.Vector, error) {
+	r := bytes.NewReader(raw)
+	var v vsm.Vector
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return v, err
+	}
+	if int(n) > len(raw) {
+		return v, fmt.Errorf("unreasonable scalar count %d", n)
+	}
+	readStr := func() (string, error) {
+		var l uint32
+		if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+			return "", err
+		}
+		if int(l) > r.Len() {
+			return "", fmt.Errorf("string length %d exceeds remaining %d", l, r.Len())
+		}
+		b := make([]byte, l)
+		if _, err := r.Read(b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	for i := uint32(0); i < n; i++ {
+		sc, err := readStr()
+		if err != nil {
+			return v, err
+		}
+		v.Scalars = append(v.Scalars, sc)
+	}
+	path, err := readStr()
+	if err != nil {
+		return v, err
+	}
+	v.Path = path
+	return v, nil
+}

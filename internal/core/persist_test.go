@@ -1,0 +1,145 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"farmer/internal/kvstore"
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+	"farmer/internal/vsm"
+)
+
+func minedHP(t *testing.T, records int) *Model {
+	t.Helper()
+	tr := tracegen.HP(records).MustGenerate()
+	cfg := DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(true)
+	m := New(cfg)
+	m.FeedTrace(tr)
+	return m
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := minedHP(t, 8000)
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := New(m.Config())
+	if err := m2.LoadFrom(s); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fed() != m.Fed() {
+		t.Fatalf("fed %d != %d", m2.Fed(), m.Fed())
+	}
+	st, st2 := m.Stats(), m2.Stats()
+	if st.Correlators != st2.Correlators || st.Lists != st2.Lists || st.TrackedFiles != st2.TrackedFiles {
+		t.Fatalf("stats differ: %+v vs %+v", st, st2)
+	}
+	// Every list matches exactly.
+	for f := trace.FileID(0); int(f) < 6000; f++ {
+		a, b := m.CorrelatorList(f), m2.CorrelatorList(f)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("file %d lists differ:\n%+v\n%+v", f, a, b)
+		}
+	}
+	// Predictions identical.
+	for f := trace.FileID(0); int(f) < 2000; f++ {
+		if !reflect.DeepEqual(m.Predict(f, 4), m2.Predict(f, 4)) {
+			t.Fatalf("predictions differ for %d", f)
+		}
+	}
+}
+
+func TestLoadFromEmptyStore(t *testing.T) {
+	s, _ := kvstore.Open("")
+	defer s.Close()
+	m := New(DefaultConfig())
+	if err := m.LoadFrom(s); err == nil {
+		t.Fatal("empty store accepted")
+	}
+}
+
+func TestLoadRejectsParameterMismatch(t *testing.T) {
+	m := minedHP(t, 2000)
+	s, _ := kvstore.Open("")
+	defer s.Close()
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	cfg.Weight = 0.3 // different p
+	m2 := New(cfg)
+	if err := m2.LoadFrom(s); err == nil {
+		t.Fatal("parameter mismatch accepted")
+	}
+}
+
+func TestSaveLoadThroughWALFile(t *testing.T) {
+	m := minedHP(t, 3000)
+	path := filepath.Join(t.TempDir(), "model.wal")
+	s, err := kvstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover from disk.
+	s2, err := kvstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	m2 := New(m.Config())
+	if err := m2.LoadFrom(s2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats().Correlators != m.Stats().Correlators {
+		t.Fatal("correlators lost across WAL restart")
+	}
+}
+
+// TestLoadedModelKeepsMining: a restored model must continue to learn.
+func TestLoadedModelKeepsMining(t *testing.T) {
+	m := minedHP(t, 2000)
+	s, _ := kvstore.Open("")
+	defer s.Close()
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(m.Config())
+	if err := m2.LoadFrom(s); err != nil {
+		t.Fatal(err)
+	}
+	before := m2.Stats().Fed
+	m2.Feed(&trace.Record{File: 1, UID: 1, Path: "/a/b"})
+	if m2.Stats().Fed != before+1 {
+		t.Fatal("restored model did not keep counting")
+	}
+}
+
+func TestDecodeListRejectsGarbage(t *testing.T) {
+	if _, err := decodeList([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("garbage list accepted")
+	}
+	if _, err := decodeList([]byte{1}); err == nil {
+		t.Fatal("short list accepted")
+	}
+}
+
+func TestDecodeVectorRejectsGarbage(t *testing.T) {
+	if _, err := decodeVector([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("garbage vector accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package exp contains one driver per figure and table of the paper's
+// evaluation (§2.2, §5.2, §5.3, §5.4). Each driver generates the synthetic
+// workloads, runs the storage simulation or the miner, and renders the same
+// rows/series the paper reports, so `farmerctl figN` (or the benchmarks in
+// the repository root) regenerate every artifact. EXPERIMENTS.md records
+// paper-vs-measured values.
+package exp
+
+import (
+	"runtime"
+	"sync"
+
+	"farmer/internal/core"
+	"farmer/internal/graph"
+	"farmer/internal/hust"
+	"farmer/internal/predictors"
+	"farmer/internal/sim"
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+	"farmer/internal/vsm"
+)
+
+// Options tunes experiment scale. Zero values select defaults sized to run
+// all experiments in a couple of minutes on a laptop.
+type Options struct {
+	// Records per generated trace.
+	Records int
+	// Replay configuration; zero value takes hust defaults.
+	Replay hust.ReplayConfig
+	// Parallelism bounds concurrent simulations; 0 = GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Records <= 0 {
+		o.Records = 30000
+	}
+	if o.Replay.MDS.CacheCapacity == 0 {
+		o.Replay = hust.DefaultReplayConfig()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// parallel runs jobs with bounded concurrency and waits for all.
+func parallel(limit int, jobs []func()) {
+	if limit <= 0 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(fn func()) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn()
+		}(job)
+	}
+	wg.Wait()
+}
+
+// farmerFactory builds an FPA-driven MDS for a trace.
+func farmerFactory(cfg hust.MDSConfig, mc core.Config) func(*sim.Engine) (*hust.MDS, error) {
+	return func(e *sim.Engine) (*hust.MDS, error) {
+		return hust.NewMDS(e, cfg, nil, predictors.NewFPA(core.New(mc)))
+	}
+}
+
+func nexusFactory(cfg hust.MDSConfig) func(*sim.Engine) (*hust.MDS, error) {
+	return func(e *sim.Engine) (*hust.MDS, error) {
+		return hust.NewMDS(e, cfg, nil, predictors.NewNexus(predictors.DefaultNexusConfig()))
+	}
+}
+
+func lruFactory(cfg hust.MDSConfig) func(*sim.Engine) (*hust.MDS, error) {
+	return func(e *sim.Engine) (*hust.MDS, error) {
+		return hust.NewMDS(e, cfg, nil, predictors.NewNone())
+	}
+}
+
+// farmerConfig returns the paper-default FARMER configuration adapted to the
+// trace's attribute schema.
+func farmerConfig(t *trace.Trace, weight, maxStrength float64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Weight = weight
+	cfg.MaxStrength = maxStrength
+	cfg.Mask = vsm.DefaultMask(t.HasPaths)
+	cfg.Graph = graph.DefaultConfig()
+	return cfg
+}
+
+// genTraces generates the four paper workloads at the configured size, in
+// the paper's order (LLNL, INS, RES, HP).
+func genTraces(records int) []*trace.Trace {
+	profiles := tracegen.Profiles(records)
+	out := make([]*trace.Trace, len(profiles))
+	jobs := make([]func(), len(profiles))
+	for i, p := range profiles {
+		i, p := i, p
+		jobs[i] = func() { out[i] = p.MustGenerate() }
+	}
+	parallel(len(jobs), jobs)
+	return out
+}

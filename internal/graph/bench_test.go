@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"farmer/internal/trace"
+)
+
+// BenchmarkFeed measures LDA window counting.
+func BenchmarkFeed(b *testing.B) {
+	g := New(DefaultConfig())
+	rng := rand.New(rand.NewPCG(1, 1))
+	ids := make([]trace.FileID, 4096)
+	for i := range ids {
+		ids[i] = trace.FileID(rng.IntN(2048))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Feed(ids[i%len(ids)])
+	}
+}
+
+// BenchmarkSuccessors measures sorted out-edge retrieval.
+func BenchmarkSuccessors(b *testing.B) {
+	g := New(DefaultConfig())
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 100000; i++ {
+		g.Feed(trace.FileID(rng.IntN(2048)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Successors(trace.FileID(i % 2048))
+	}
+}

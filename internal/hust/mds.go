@@ -1,0 +1,229 @@
+// Package hust simulates the object-based storage system the paper
+// prototypes FARMER on (§5.1): clients issue file requests; a metadata
+// server (MDS) answers them from an LRU metadata cache backed by a
+// Berkeley-DB-style store; object storage devices (OSDs) serve the data
+// path. The MDS implements the paper's priority-based request scheduling —
+// demand requests are served ahead of queued prefetch requests — and hosts
+// the pluggable prefetch predictor (FARMER's FPA, Nexus, or none/LRU).
+package hust
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"farmer/internal/cache"
+	"farmer/internal/kvstore"
+	"farmer/internal/metrics"
+	"farmer/internal/predictors"
+	"farmer/internal/sim"
+	"farmer/internal/trace"
+)
+
+// MDSConfig parameterises the metadata server model.
+type MDSConfig struct {
+	// CacheCapacity is the metadata cache size in entries.
+	CacheCapacity int
+	// Workers is the number of concurrent metadata service threads.
+	Workers int
+	// CacheHitTime is the service time of a request satisfied from cache.
+	CacheHitTime time.Duration
+	// StoreReadTime is the service time of a metadata store (Berkeley DB)
+	// lookup on a cache miss, dominated by the disk access.
+	StoreReadTime time.Duration
+	// PrefetchK is how many Correlator-List entries are prefetched per
+	// demand access (the prefetching degree).
+	PrefetchK int
+	// PrefetchBatch treats a batch of prefetches triggered by one demand
+	// access as a single store I/O (grouped layout, §4.2); otherwise each
+	// prefetch is its own store read.
+	PrefetchBatch bool
+}
+
+// DefaultMDSConfig returns calibrated service times: a cache hit costs
+// 0.05ms of MDS CPU; a store miss costs 2ms (disk-bound Berkeley DB read).
+func DefaultMDSConfig() MDSConfig {
+	return MDSConfig{
+		CacheCapacity: 256,
+		Workers:       4,
+		CacheHitTime:  50 * time.Microsecond,
+		StoreReadTime: 2 * time.Millisecond,
+		PrefetchK:     4,
+		PrefetchBatch: true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c MDSConfig) Validate() error {
+	switch {
+	case c.CacheCapacity <= 0:
+		return fmt.Errorf("hust: cache capacity %d", c.CacheCapacity)
+	case c.Workers <= 0:
+		return fmt.Errorf("hust: workers %d", c.Workers)
+	case c.CacheHitTime <= 0 || c.StoreReadTime <= 0:
+		return fmt.Errorf("hust: non-positive service times")
+	case c.PrefetchK < 0:
+		return fmt.Errorf("hust: negative prefetch degree")
+	}
+	return nil
+}
+
+// MDS is the simulated metadata server.
+type MDS struct {
+	cfg   MDSConfig
+	eng   *sim.Engine
+	srv   *sim.Server
+	cache *cache.LRU
+	store *kvstore.Store
+	pred  predictors.Predictor
+
+	resp         metrics.LatencyHist
+	prefetchSent uint64
+	storeReads   uint64
+}
+
+// NewMDS builds a metadata server on the given engine. store may be nil, in
+// which case an in-memory store is created. pred drives prefetching
+// (predictors.None disables it).
+func NewMDS(eng *sim.Engine, cfg MDSConfig, store *kvstore.Store, pred predictors.Predictor) (*MDS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		var err error
+		store, err = kvstore.Open("")
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &MDS{
+		cfg:   cfg,
+		eng:   eng,
+		srv:   sim.NewServer(eng, cfg.Workers),
+		cache: cache.NewLRU(cfg.CacheCapacity),
+		store: store,
+		pred:  pred,
+	}, nil
+}
+
+// metaKey renders a store key for a file's metadata record.
+func metaKey(f trace.FileID) []byte {
+	k := make([]byte, 5)
+	k[0] = 'm'
+	binary.BigEndian.PutUint32(k[1:], uint32(f))
+	return k
+}
+
+// PopulateStore writes a metadata record for every file in the trace into
+// the backing store, as HUSt's MDS would hold before replay.
+func (m *MDS) PopulateStore(t *trace.Trace) error {
+	val := make([]byte, 64) // typical inode-sized metadata blob
+	for f := 0; f < t.FileCount; f++ {
+		binary.LittleEndian.PutUint32(val, uint32(f))
+		if err := m.store.Put(metaKey(trace.FileID(f)), val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Demand submits a client metadata request for r at the current virtual
+// time. done (optional) runs at completion with the request's response time.
+func (m *MDS) Demand(r *trace.Record, done func(resp time.Duration)) {
+	hit := m.cache.Access(r.File)
+	service := m.cfg.StoreReadTime
+	if hit {
+		service = m.cfg.CacheHitTime
+	} else {
+		m.storeReads++
+		// Perform the actual store lookup so the data path is real.
+		if _, ok := m.store.Get(metaKey(r.File)); !ok {
+			// Unknown file: creation path — install it.
+			_ = m.store.Put(metaKey(r.File), make([]byte, 64))
+		}
+	}
+	m.srv.Submit(sim.PriorityDemand, &sim.Request{
+		Service: service,
+		Done: func(wait, total time.Duration) {
+			m.resp.Observe(total)
+			if done != nil {
+				done(total)
+			}
+		},
+	})
+
+	// Mining + prefetch issue happen on the demand path (the paper's
+	// "mining and evaluating utility" hooks the request stream).
+	m.pred.Record(r)
+	if m.cfg.PrefetchK > 0 {
+		m.issuePrefetches(r.File)
+	}
+}
+
+func (m *MDS) issuePrefetches(f trace.FileID) {
+	cands := m.pred.Predict(f, m.cfg.PrefetchK)
+	if len(cands) == 0 {
+		return
+	}
+	batched := false
+	for _, c := range cands {
+		if m.cache.Contains(c) {
+			continue
+		}
+		service := m.cfg.StoreReadTime
+		if m.cfg.PrefetchBatch {
+			if batched {
+				// Subsequent members of the batch ride the same I/O: only
+				// CPU cost.
+				service = m.cfg.CacheHitTime
+			}
+			batched = true
+		}
+		m.prefetchSent++
+		m.storeReads++
+		target := c
+		m.srv.Submit(sim.PriorityPrefetch, &sim.Request{
+			Service: service,
+			Done: func(wait, total time.Duration) {
+				// Metadata arrives: install into the cache unless the
+				// demand path beat us to it.
+				m.store.Get(metaKey(target))
+				m.cache.Prefetch(target)
+			},
+		})
+	}
+}
+
+// Stats is the per-run MDS outcome.
+type Stats struct {
+	Cache          cache.Metrics
+	AvgResponse    time.Duration
+	P95Response    time.Duration
+	MaxResponse    time.Duration
+	Demand         uint64
+	PrefetchIssued uint64
+	StoreReads     uint64
+	AvgDemandWait  time.Duration
+	Utilization    float64
+}
+
+// Finish folds residual prefetch waste and returns the stats.
+func (m *MDS) Finish() Stats {
+	return Stats{
+		Cache:          m.cache.Finish(),
+		AvgResponse:    m.resp.Mean(),
+		P95Response:    m.resp.Quantile(0.95),
+		MaxResponse:    m.resp.Max(),
+		Demand:         m.resp.Count(),
+		PrefetchIssued: m.prefetchSent,
+		StoreReads:     m.storeReads,
+		AvgDemandWait:  m.srv.AvgWait(sim.PriorityDemand),
+		Utilization:    m.srv.Utilization(),
+	}
+}
+
+// Cache exposes the metadata cache (tests).
+func (m *MDS) Cache() *cache.LRU { return m.cache }
+
+// Predictor exposes the active predictor.
+func (m *MDS) Predictor() predictors.Predictor { return m.pred }

@@ -1,0 +1,283 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Store is a durable ordered key-value store: an in-memory B-tree fronted by
+// a CRC-framed write-ahead log. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	tree *btree
+	wal  *walWriter // nil for a purely in-memory store
+	path string
+}
+
+// Open creates or recovers a store whose WAL lives at path. An empty path
+// yields a volatile in-memory store.
+func Open(path string) (*Store, error) {
+	s := &Store{tree: newBTree(32), path: path}
+	if path == "" {
+		return s, nil
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: opening wal: %w", err)
+	}
+	s.wal = newWALWriter(f)
+	return s, nil
+}
+
+func (s *Store) recover() error {
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: recovering: %w", err)
+	}
+	defer f.Close()
+	r := newWALReader(f)
+	for {
+		rec, err := r.next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if errors.Is(err, errCorrupt) {
+			// Torn tail: everything before it already applied; stop here.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch rec.op {
+		case walPut:
+			s.tree.Put(rec.key, rec.value)
+		case walDelete:
+			s.tree.Delete(rec.key)
+		}
+	}
+}
+
+// Get returns a copy of the value for key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.tree.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Put stores key=value durably (WAL first, then the tree).
+func (s *Store) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return errors.New("kvstore: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.append(walRecord{op: walPut, key: key, value: value}); err != nil {
+			return err
+		}
+	}
+	s.tree.Put(key, append([]byte(nil), value...))
+	return nil
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.append(walRecord{op: walDelete, key: key}); err != nil {
+			return err
+		}
+	}
+	s.tree.Delete(key)
+	return nil
+}
+
+// Len reports the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Len()
+}
+
+// Scan visits keys in [from, to) in order; nil bounds are open. fn must not
+// mutate the store.
+func (s *Store) Scan(from, to []byte, fn func(key, value []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.tree.Ascend(from, to, fn)
+}
+
+// Snapshot writes a point-in-time copy of the store to w (length-prefixed
+// key/value pairs, CRC-framed like the WAL).
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sw := newWALWriter(nopCloser{w})
+	var err error
+	s.tree.Ascend(nil, nil, func(k, v []byte) bool {
+		err = sw.append(walRecord{op: walPut, key: k, value: v})
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return sw.flush()
+}
+
+// LoadSnapshot replaces the store contents with a snapshot produced by
+// Snapshot. The WAL (if any) is appended with the loaded state so recovery
+// stays consistent.
+func (s *Store) LoadSnapshot(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tree := newBTree(32)
+	wr := newWALReader(r)
+	for {
+		rec, err := wr.next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		tree.Put(rec.key, rec.value)
+		if s.wal != nil {
+			if err := s.wal.append(rec); err != nil {
+				return err
+			}
+		}
+	}
+	s.tree = tree
+	return nil
+}
+
+// Close flushes and closes the WAL.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.close()
+	s.wal = nil
+	return err
+}
+
+// ------------------------------------------------------------------- WAL
+
+type walOp uint8
+
+const (
+	walPut walOp = iota + 1
+	walDelete
+)
+
+type walRecord struct {
+	op    walOp
+	key   []byte
+	value []byte
+}
+
+var errCorrupt = errors.New("kvstore: corrupt wal record")
+
+// Frame: u32 crc (of everything after), u8 op, u32 klen, u32 vlen, key, value.
+type walWriter struct {
+	w  io.WriteCloser
+	bw *bufio.Writer
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func newWALWriter(w io.WriteCloser) *walWriter {
+	return &walWriter{w: w, bw: bufio.NewWriter(w)}
+}
+
+func (w *walWriter) append(rec walRecord) error {
+	payload := make([]byte, 1+4+4+len(rec.key)+len(rec.value))
+	payload[0] = byte(rec.op)
+	binary.LittleEndian.PutUint32(payload[1:5], uint32(len(rec.key)))
+	binary.LittleEndian.PutUint32(payload[5:9], uint32(len(rec.value)))
+	copy(payload[9:], rec.key)
+	copy(payload[9+len(rec.key):], rec.value)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func (w *walWriter) flush() error { return w.bw.Flush() }
+
+func (w *walWriter) close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.w.Close()
+		return err
+	}
+	return w.w.Close()
+}
+
+type walReader struct {
+	br *bufio.Reader
+}
+
+func newWALReader(r io.Reader) *walReader { return &walReader{br: bufio.NewReader(r)} }
+
+func (r *walReader) next() (walRecord, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return walRecord{}, errCorrupt
+		}
+		return walRecord{}, err
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[:])
+	var meta [9]byte
+	if _, err := io.ReadFull(r.br, meta[:]); err != nil {
+		return walRecord{}, errCorrupt
+	}
+	klen := binary.LittleEndian.Uint32(meta[1:5])
+	vlen := binary.LittleEndian.Uint32(meta[5:9])
+	if klen > 1<<24 || vlen > 1<<28 {
+		return walRecord{}, errCorrupt
+	}
+	payload := make([]byte, 9+klen+vlen)
+	copy(payload, meta[:])
+	if _, err := io.ReadFull(r.br, payload[9:]); err != nil {
+		return walRecord{}, errCorrupt
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return walRecord{}, errCorrupt
+	}
+	rec := walRecord{
+		op:    walOp(payload[0]),
+		key:   append([]byte(nil), payload[9:9+klen]...),
+		value: append([]byte(nil), payload[9+klen:]...),
+	}
+	if rec.op != walPut && rec.op != walDelete {
+		return walRecord{}, errCorrupt
+	}
+	return rec, nil
+}

@@ -1,0 +1,132 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine used by the HUSt storage-system model. Time is virtual and measured
+// in nanoseconds (time.Duration); events are executed in non-decreasing
+// timestamp order with FIFO tie-breaking, so a simulation driven by a fixed
+// seed is fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. The callback runs with the engine clock set
+// to the event time.
+type Event struct {
+	at   time.Duration
+	seq  uint64 // FIFO tie-break for equal timestamps
+	fn   func()
+	dead bool
+}
+
+// Cancel marks the event so that its callback will not run. Cancelling an
+// already-executed event has no effect.
+func (e *Event) Cancel() { e.dead = true }
+
+// At reports the virtual time at which the event is scheduled.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation driver. The zero value is ready to
+// use. Engine is not safe for concurrent use; a simulation is a single
+// logical thread over virtual time.
+type Engine struct {
+	now    time.Duration
+	next   uint64
+	events eventHeap
+	steps  uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps reports how many events have executed.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending reports how many scheduled (possibly cancelled) events remain.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.next, fn: fn}
+	e.next++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the single next event. It reports false when no runnable
+// events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later events
+// queued, and advances the clock to deadline.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.events) > 0 {
+		// Peek.
+		ev := e.events[0]
+		if ev.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import "time"
+
+// Priority levels for Server requests. Lower numeric value is served first.
+// The HUSt metadata server uses two queues: demand requests preempt queued
+// prefetch requests (but do not interrupt a request already in service).
+const (
+	PriorityDemand   = 0
+	PriorityPrefetch = 1
+	numPriorities    = 2
+)
+
+// Request is one unit of work submitted to a Server.
+type Request struct {
+	Service time.Duration // time the server is busy with this request
+	Done    func(wait, total time.Duration)
+
+	arrive time.Duration
+}
+
+// Server models a single service station with per-priority FIFO queues and a
+// fixed number of workers. It is the queueing model behind the MDS.
+type Server struct {
+	eng     *Engine
+	workers int
+	busy    int
+	queues  [numPriorities][]*Request
+
+	// Stats.
+	served   [numPriorities]uint64
+	waitSum  [numPriorities]time.Duration
+	busySum  time.Duration
+	maxDepth int
+}
+
+// NewServer creates a server with the given worker count attached to eng.
+func NewServer(eng *Engine, workers int) *Server {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Server{eng: eng, workers: workers}
+}
+
+// Submit enqueues a request at the given priority. Done (if non-nil) runs at
+// completion with the queueing delay and the total sojourn time.
+func (s *Server) Submit(pri int, r *Request) {
+	if pri < 0 || pri >= numPriorities {
+		pri = numPriorities - 1
+	}
+	r.arrive = s.eng.Now()
+	s.queues[pri] = append(s.queues[pri], r)
+	if d := s.depth(); d > s.maxDepth {
+		s.maxDepth = d
+	}
+	s.dispatch()
+}
+
+func (s *Server) depth() int {
+	n := 0
+	for i := range s.queues {
+		n += len(s.queues[i])
+	}
+	return n
+}
+
+func (s *Server) dispatch() {
+	for s.busy < s.workers {
+		var r *Request
+		var pri int
+		for p := 0; p < numPriorities; p++ {
+			if len(s.queues[p]) > 0 {
+				r = s.queues[p][0]
+				copy(s.queues[p], s.queues[p][1:])
+				s.queues[p][len(s.queues[p])-1] = nil
+				s.queues[p] = s.queues[p][:len(s.queues[p])-1]
+				pri = p
+				break
+			}
+		}
+		if r == nil {
+			return
+		}
+		s.busy++
+		wait := s.eng.Now() - r.arrive
+		s.waitSum[pri] += wait
+		s.served[pri]++
+		s.busySum += r.Service
+		req, p := r, pri
+		s.eng.After(r.Service, func() {
+			s.busy--
+			if req.Done != nil {
+				req.Done(wait, s.eng.Now()-req.arrive)
+			}
+			_ = p
+			s.dispatch()
+		})
+	}
+}
+
+// Served reports how many requests of the given priority completed service
+// entry (dispatched).
+func (s *Server) Served(pri int) uint64 { return s.served[pri] }
+
+// AvgWait reports the mean queueing delay of the given priority class.
+func (s *Server) AvgWait(pri int) time.Duration {
+	if s.served[pri] == 0 {
+		return 0
+	}
+	return s.waitSum[pri] / time.Duration(s.served[pri])
+}
+
+// Utilization reports busy-time / elapsed-time (can exceed 1 with multiple
+// workers).
+func (s *Server) Utilization() float64 {
+	if s.eng.Now() == 0 {
+		return 0
+	}
+	return float64(s.busySum) / float64(s.eng.Now())
+}
+
+// MaxQueueDepth reports the deepest combined queue observed.
+func (s *Server) MaxQueueDepth() int { return s.maxDepth }

@@ -1,0 +1,167 @@
+// Package trace defines the file-access trace model shared by the workload
+// generators, the FARMER miner, the baseline predictors and the storage
+// simulator. A trace is an ordered sequence of Records, each describing one
+// file request together with the semantic attributes the paper mines: user,
+// process, host and the file path (HP/LLNL-style traces) or file/device ids
+// (INS/RES-style traces).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FileID identifies a file within a trace. IDs are dense and start at 0 so
+// they can index slices.
+type FileID uint32
+
+// NoFile is the sentinel for "no file".
+const NoFile = FileID(0xFFFFFFFF)
+
+// Op is the file operation recorded.
+type Op uint8
+
+// Operations. The experiments only distinguish metadata-relevant classes.
+const (
+	OpOpen Op = iota
+	OpRead
+	OpWrite
+	OpClose
+	OpStat
+	OpCreate
+	OpUnlink
+	numOps
+)
+
+var opNames = [...]string{"open", "read", "write", "close", "stat", "create", "unlink"}
+
+// String returns the lowercase operation name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOp converts an operation name back to an Op.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown op %q", s)
+}
+
+// Record is a single file request.
+type Record struct {
+	Seq  uint64        // position within the trace, 0-based
+	Time time.Duration // offset from trace start
+	File FileID
+	Op   Op
+
+	// Semantic attributes (paper §2, §3.2.1).
+	UID  uint32 // user id
+	PID  uint32 // process id
+	Host uint32 // host / machine id
+	Dev  uint32 // device id (INS/RES); zero when unused
+	Path string // full file path (HP/LLNL); empty when the trace lacks paths
+
+	// Size of the request in bytes (for data-path experiments).
+	Size uint32
+
+	// Group is generator ground truth: the correlation-group id this access
+	// belongs to, or -1 for background noise. It is never visible to miners;
+	// it exists so experiments can score prediction accuracy against truth.
+	Group int32
+}
+
+// HasPath reports whether the record carries full path information.
+func (r *Record) HasPath() bool { return r.Path != "" }
+
+// Dir returns the directory portion of Path ("" when no path).
+func (r *Record) Dir() string {
+	if r.Path == "" {
+		return ""
+	}
+	i := strings.LastIndexByte(r.Path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return r.Path[:i]
+}
+
+// Base returns the final path element ("" when no path).
+func (r *Record) Base() string {
+	if r.Path == "" {
+		return ""
+	}
+	i := strings.LastIndexByte(r.Path, '/')
+	return r.Path[i+1:]
+}
+
+// Trace is an in-memory trace plus its schema metadata.
+type Trace struct {
+	Name    string
+	Records []Record
+
+	// FileCount is 1 + the maximum FileID present (dense id space).
+	FileCount int
+
+	// HasPaths records whether this workload exposes full path attributes
+	// (true for HP/LLNL profiles, false for INS/RES).
+	HasPaths bool
+
+	// Paths maps FileID -> canonical path for workloads with paths. Empty
+	// otherwise.
+	Paths []string
+}
+
+// Validate checks internal consistency: sequential Seq, monotone Time, file
+// ids within range.
+func (t *Trace) Validate() error {
+	var last time.Duration
+	for i := range t.Records {
+		r := &t.Records[i]
+		if r.Seq != uint64(i) {
+			return fmt.Errorf("trace %s: record %d has Seq %d", t.Name, i, r.Seq)
+		}
+		if r.Time < last {
+			return fmt.Errorf("trace %s: record %d time %v before %v", t.Name, i, r.Time, last)
+		}
+		last = r.Time
+		if r.File == NoFile || int(r.File) >= t.FileCount {
+			return fmt.Errorf("trace %s: record %d file %d out of range [0,%d)", t.Name, i, r.File, t.FileCount)
+		}
+		if t.HasPaths && r.Path == "" {
+			return fmt.Errorf("trace %s: record %d missing path", t.Name, i)
+		}
+	}
+	return nil
+}
+
+// Len reports the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Clone deep-copies the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{Name: t.Name, FileCount: t.FileCount, HasPaths: t.HasPaths}
+	c.Records = append([]Record(nil), t.Records...)
+	c.Paths = append([]string(nil), t.Paths...)
+	return c
+}
+
+// Slice returns a shallow view of records [lo, hi).
+func (t *Trace) Slice(lo, hi int) []Record {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.Records) {
+		hi = len(t.Records)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return t.Records[lo:hi]
+}

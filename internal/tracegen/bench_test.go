@@ -1,0 +1,14 @@
+package tracegen
+
+import "testing"
+
+// BenchmarkGenerateHP measures workload synthesis throughput.
+func BenchmarkGenerateHP(b *testing.B) {
+	p := HP(20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package tracegen
+
+// The four workload profiles mirror the published characteristics of the
+// paper's traces (§2.2) at laptop scale. Record counts are parameters so
+// tests can run small instances and the benchmark harness larger ones.
+//
+//   - LLNL: parallel scientific applications on an 800-node Linux cluster.
+//     Few users, many cooperating processes per application, large
+//     correlated file sets (per-rank dumps), strong regularity but heavy
+//     cross-node interleaving. Full paths.
+//   - INS: HP-UX instructional lab, 20 machines. Undergraduate coursework is
+//     extremely repetitive: a small set of popular groups re-run constantly,
+//     so predictors reach very high hit ratios (the paper's Fig. 3 shows
+//     ~0.9+). No path attribute — file id + device id instead.
+//   - RES: HP-UX research desktops, 13 machines. Diverse, noisy, large
+//     working set; the hardest workload (paper hit ratios 0.2–0.45). No
+//     path attribute.
+//   - HP: 10-day time-sharing server, 236 users. Rich full-path attribute;
+//     moderate regularity (paper hit ratios 0.3–0.55). This is where
+//     semantic mining pays off most.
+
+// LLNL returns the parallel-scientific profile.
+func LLNL(records int) Profile {
+	return Profile{
+		Name:            "LLNL",
+		Records:         records,
+		Seed:            0x11A317,
+		Users:           8,
+		Hosts:           64,
+		ProgramsPerUser: 4,
+		Groups:          220,
+		GroupSizeMin:    8,
+		GroupSizeMax:    24,
+		GroupRevisit:    0.30,
+		NoiseFiles:      4000,
+		NoiseRatio:      0.22,
+		Streams:         48,
+		BurstMin:        1,
+		BurstMax:        4,
+		SessionSkip:     0.04,
+		PartialSession:  0.35,
+		AliasFraction:   0.30,
+		TeamSize:        4,
+		ZipfS:           0.9,
+		HasPaths:        true,
+		Devices:         4,
+		MeanGapMicro:    20,
+	}
+}
+
+// INS returns the instructional-lab profile.
+func INS(records int) Profile {
+	return Profile{
+		Name:            "INS",
+		Records:         records,
+		Seed:            0x195,
+		Users:           80,
+		Hosts:           20,
+		ProgramsPerUser: 3,
+		Groups:          60,
+		GroupSizeMin:    3,
+		GroupSizeMax:    8,
+		GroupRevisit:    0.65,
+		NoiseFiles:      300,
+		NoiseRatio:      0.04,
+		Streams:         10,
+		BurstMin:        4,
+		BurstMax:        8,
+		SessionSkip:     0.02,
+		PartialSession:  0.30,
+		AliasFraction:   0.30,
+		TeamSize:        2,
+		ZipfS:           1.3,
+		HasPaths:        false,
+		Devices:         20,
+		MeanGapMicro:    120,
+	}
+}
+
+// RES returns the research-desktop profile.
+func RES(records int) Profile {
+	return Profile{
+		Name:            "RES",
+		Records:         records,
+		Seed:            0x4E5,
+		Users:           30,
+		Hosts:           13,
+		ProgramsPerUser: 6,
+		Groups:          400,
+		GroupSizeMin:    3,
+		GroupSizeMax:    10,
+		GroupRevisit:    0.15,
+		NoiseFiles:      6000,
+		NoiseRatio:      0.30,
+		Streams:         26,
+		BurstMin:        2,
+		BurstMax:        5,
+		SessionSkip:     0.08,
+		PartialSession:  0.60,
+		AliasFraction:   0.40,
+		TeamSize:        2,
+		ZipfS:           0.75,
+		HasPaths:        false,
+		Devices:         13,
+		MeanGapMicro:    200,
+	}
+}
+
+// HP returns the time-sharing-server profile.
+func HP(records int) Profile {
+	return Profile{
+		Name:            "HP",
+		Records:         records,
+		Seed:            0x48,
+		Users:           236,
+		Hosts:           1,
+		ProgramsPerUser: 4,
+		Groups:          300,
+		GroupSizeMin:    4,
+		GroupSizeMax:    12,
+		GroupRevisit:    0.35,
+		NoiseFiles:      3000,
+		NoiseRatio:      0.20,
+		Streams:         32,
+		BurstMin:        2,
+		BurstMax:        6,
+		SessionSkip:     0.05,
+		PartialSession:  0.50,
+		AliasFraction:   0.40,
+		TeamSize:        3,
+		ZipfS:           1.0,
+		HasPaths:        true,
+		Devices:         1,
+		MeanGapMicro:    80,
+	}
+}
+
+// Profiles returns all four paper profiles at the given record count, in the
+// paper's order.
+func Profiles(records int) []Profile {
+	return []Profile{LLNL(records), INS(records), RES(records), HP(records)}
+}
+
+// ByName returns the profile with the given (case-sensitive) name.
+func ByName(name string, records int) (Profile, bool) {
+	for _, p := range Profiles(records) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,22 @@
+package vsm
+
+import "testing"
+
+var benchA = Vector{Scalars: []string{"u:1", "p:3", "h:2"}, Path: "/home/user1/project/src/main.go"}
+var benchB = Vector{Scalars: []string{"u:1", "p:4", "h:2"}, Path: "/home/user1/project/src/util.go"}
+
+// BenchmarkSimIPA measures the paper's chosen similarity path.
+func BenchmarkSimIPA(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sim(&benchA, &benchB, IPA)
+	}
+}
+
+// BenchmarkSimDPA measures the divided-path alternative.
+func BenchmarkSimDPA(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sim(&benchA, &benchB, DPA)
+	}
+}

@@ -1,0 +1,103 @@
+package vsm
+
+import (
+	"strconv"
+
+	"farmer/internal/trace"
+)
+
+// Extractor is FARMER's Stage-1 component (paper §3.1): it turns a file
+// request into the semantic vector for the requested file, restricted to the
+// attributes enabled in the mask. The HUSt prototype calls this the
+// "extractor" filter.
+type Extractor struct {
+	Mask Mask
+	Alg  PathAlg
+}
+
+// NewExtractor returns an extractor for the given attribute combination
+// using the paper's preferred IPA path handling.
+func NewExtractor(mask Mask) *Extractor {
+	return &Extractor{Mask: mask, Alg: IPA}
+}
+
+// Extract builds the semantic vector for a record. Scalar tokens are
+// prefixed with their attribute tag so that, e.g., user 5 never collides
+// with process 5 — the paper's Table 1 shows attribute values as distinct
+// namespaced entries.
+func (e *Extractor) Extract(r *trace.Record) Vector {
+	var v Vector
+	add := func(tag string, val uint32) {
+		v.Scalars = append(v.Scalars, tag+strconv.FormatUint(uint64(val), 10))
+	}
+	if e.Mask.Has(AttrUser) {
+		add("u:", r.UID)
+	}
+	if e.Mask.Has(AttrProcess) {
+		add("p:", r.PID)
+	}
+	if e.Mask.Has(AttrHost) {
+		add("h:", r.Host)
+	}
+	if e.Mask.Has(AttrFileID) {
+		add("f:", uint32(r.File))
+	}
+	if e.Mask.Has(AttrDevice) {
+		add("d:", r.Dev)
+	}
+	if e.Mask.Has(AttrPath) && r.Path != "" {
+		v.Path = r.Path
+	}
+	return v
+}
+
+// Similarity extracts both vectors and compares them under the extractor's
+// path algorithm.
+func (e *Extractor) Similarity(a, b *trace.Record) float64 {
+	va := e.Extract(a)
+	vb := e.Extract(b)
+	return Sim(&va, &vb, e.Alg)
+}
+
+// DefaultMask picks the natural full attribute combination for a trace:
+// {User, Process, Host, File Path} when the trace has paths,
+// {User, Process, Host, File ID} otherwise — matching how the paper treats
+// HP/LLNL versus INS/RES.
+func DefaultMask(hasPaths bool) Mask {
+	if hasPaths {
+		return AllPathMask
+	}
+	return AllFileIDMask
+}
+
+// Combinations enumerates all non-empty subsets of the given attributes in a
+// stable order (by increasing popcount, then bit pattern), mirroring the
+// paper's Fig. 5 table rows.
+func Combinations(attrs []Attr) []Mask {
+	n := len(attrs)
+	var out []Mask
+	for size := 1; size <= n; size++ {
+		for bits := 1; bits < 1<<n; bits++ {
+			if popcount(bits) != size {
+				continue
+			}
+			var m Mask
+			for i := 0; i < n; i++ {
+				if bits&(1<<i) != 0 {
+					m = m.With(attrs[i])
+				}
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,276 @@
+package vsm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"farmer/internal/trace"
+)
+
+// The paper's Table 1/2 worked example:
+//
+//	A = user1 p1 host1 /home/user1/paper/a
+//	B = user1 p2 host1 /home/user1/paper/b
+//	C = user2 p3 host2 /home/user2/c
+var (
+	tabA = Vector{Scalars: []string{"user1", "p1", "host1"}, Path: "/home/user1/paper/a"}
+	tabB = Vector{Scalars: []string{"user1", "p2", "host1"}, Path: "/home/user1/paper/b"}
+	tabC = Vector{Scalars: []string{"user2", "p3", "host2"}, Path: "/home/user2/c"}
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestPaperTable2DPA checks the DPA column of Table 2:
+// sim(A,B)=5/7, sim(A,C)=1/7, sim(B,C)=1/7.
+func TestPaperTable2DPA(t *testing.T) {
+	if got := Sim(&tabA, &tabB, DPA); !almost(got, 5.0/7.0) {
+		t.Errorf("DPA sim(A,B) = %v, want 5/7", got)
+	}
+	if got := Sim(&tabA, &tabC, DPA); !almost(got, 1.0/7.0) {
+		t.Errorf("DPA sim(A,C) = %v, want 1/7", got)
+	}
+	if got := Sim(&tabB, &tabC, DPA); !almost(got, 1.0/7.0) {
+		t.Errorf("DPA sim(B,C) = %v, want 1/7", got)
+	}
+}
+
+// TestPaperTable2IPA checks the IPA column of Table 2:
+// sim(A,B)=2.75/4, sim(A,C)=0.25/4, sim(B,C)=0.25/4.
+//
+// Paths /home/user1/paper/a vs /home/user1/paper/b share 3 of max 4
+// components -> path item contributes 0.75; user1+host1 match -> 2; total
+// 2.75 over max vector length 4.
+func TestPaperTable2IPA(t *testing.T) {
+	if got := Sim(&tabA, &tabB, IPA); !almost(got, 2.75/4.0) {
+		t.Errorf("IPA sim(A,B) = %v, want 2.75/4", got)
+	}
+	if got := Sim(&tabA, &tabC, IPA); !almost(got, 0.25/4.0) {
+		t.Errorf("IPA sim(A,C) = %v, want 0.25/4", got)
+	}
+	if got := Sim(&tabB, &tabC, IPA); !almost(got, 0.25/4.0) {
+		t.Errorf("IPA sim(B,C) = %v, want 0.25/4", got)
+	}
+}
+
+// TestPaperPathSimilarity checks the intermediate 3/4 directory similarity
+// quoted in §3.2.1.
+func TestPaperPathSimilarity(t *testing.T) {
+	if got := PathSimilarity("/home/user1/paper/a", "/home/user1/paper/b"); !almost(got, 0.75) {
+		t.Errorf("PathSimilarity = %v, want 0.75", got)
+	}
+}
+
+// TestIPADeepDirectoryRobustness reproduces the paper's argument for IPA: an
+// executable and the library it links share user+process but have disjoint
+// deep paths. DPA drowns the scalar match; IPA preserves it.
+func TestIPADeepDirectoryRobustness(t *testing.T) {
+	exe := Vector{Scalars: []string{"u:1", "p:9"}, Path: "/home/alice/projects/app/build/bin/app"}
+	lib := Vector{Scalars: []string{"u:1", "p:9"}, Path: "/usr/lib/x86_64/libm.so"}
+	dpa := Sim(&exe, &lib, DPA)
+	ipa := Sim(&exe, &lib, IPA)
+	if ipa <= dpa {
+		t.Fatalf("IPA (%v) should exceed DPA (%v) for disjoint deep paths", ipa, dpa)
+	}
+	// IPA: 2 scalar matches, 0 path sim, max len 3 -> 2/3.
+	if !almost(ipa, 2.0/3.0) {
+		t.Fatalf("IPA = %v, want 2/3", ipa)
+	}
+}
+
+func TestSimIdentity(t *testing.T) {
+	if got := Sim(&tabA, &tabA, IPA); !almost(got, 1.0) {
+		t.Errorf("IPA self-sim = %v, want 1", got)
+	}
+	if got := Sim(&tabA, &tabA, DPA); !almost(got, 1.0) {
+		t.Errorf("DPA self-sim = %v, want 1", got)
+	}
+}
+
+func TestSimEmpty(t *testing.T) {
+	empty := Vector{}
+	if got := Sim(&empty, &tabA, IPA); got != 0 {
+		t.Errorf("sim(empty, A) = %v, want 0", got)
+	}
+	if got := Sim(&empty, &empty, DPA); got != 0 {
+		t.Errorf("sim(empty, empty) = %v, want 0", got)
+	}
+}
+
+func TestSimPathOnlyVectors(t *testing.T) {
+	a := Vector{Path: "/a/b/c"}
+	b := Vector{Path: "/a/b/d"}
+	// IPA: single path item, similarity 2/3 -> sim = (2/3)/1.
+	if got := Sim(&a, &b, IPA); !almost(got, 2.0/3.0) {
+		t.Errorf("IPA path-only = %v, want 2/3", got)
+	}
+	// DPA: items {a,b,c} vs {a,b,d} -> 2/3.
+	if got := Sim(&a, &b, DPA); !almost(got, 2.0/3.0) {
+		t.Errorf("DPA path-only = %v, want 2/3", got)
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"/home/u/a", 3},
+		{"home/u/a", 3},
+		{"//double//slash/", 2},
+		{"/", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := SplitPath(c.in); len(got) != c.want {
+			t.Errorf("SplitPath(%q) = %v, want %d parts", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMultisetIntersectionCountsDuplicates(t *testing.T) {
+	a := []string{"x", "x", "y"}
+	b := []string{"x", "x", "x"}
+	if got := multisetIntersection(a, b); got != 2 {
+		t.Fatalf("multiset intersection = %d, want 2", got)
+	}
+}
+
+// Property: Sim is symmetric and within [0,1] under both algorithms.
+func TestSimProperties(t *testing.T) {
+	f := func(sa, sb []uint8, pa, pb bool) bool {
+		mk := func(tokens []uint8, withPath bool, path string) Vector {
+			v := Vector{}
+			for _, tok := range tokens {
+				v.Scalars = append(v.Scalars, "t:"+string(rune('a'+tok%16)))
+			}
+			if withPath {
+				v.Path = path
+			}
+			return v
+		}
+		a := mk(sa, pa, "/x/y/z")
+		b := mk(sb, pb, "/x/q/z")
+		for _, alg := range []PathAlg{IPA, DPA} {
+			s1 := Sim(&a, &b, alg)
+			s2 := Sim(&b, &a, alg)
+			if math.Abs(s1-s2) > 1e-12 {
+				return false
+			}
+			if s1 < 0 || s1 > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	m := MaskOf(AttrUser, AttrPath)
+	if !m.Has(AttrUser) || !m.Has(AttrPath) || m.Has(AttrProcess) {
+		t.Fatalf("mask membership wrong: %v", m)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", m.Count())
+	}
+	if got := m.Without(AttrUser); got.Has(AttrUser) {
+		t.Fatal("Without failed")
+	}
+	if got := m.String(); got != "{User, File Path}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Mask(0).String(); got != "{}" {
+		t.Fatalf("empty mask String = %q", got)
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	attrs := []Attr{AttrUser, AttrProcess, AttrHost, AttrPath}
+	combos := Combinations(attrs)
+	if len(combos) != 15 {
+		t.Fatalf("4 attributes should give 15 combinations, got %d", len(combos))
+	}
+	seen := map[Mask]bool{}
+	for _, m := range combos {
+		if seen[m] {
+			t.Fatalf("duplicate combination %v", m)
+		}
+		seen[m] = true
+		if m.Count() == 0 {
+			t.Fatal("empty combination emitted")
+		}
+	}
+	// Sizes must be non-decreasing (paper's table orders singletons first).
+	for i := 1; i < len(combos); i++ {
+		if combos[i].Count() < combos[i-1].Count() {
+			t.Fatalf("combinations not ordered by size at %d", i)
+		}
+	}
+}
+
+func TestExtractor(t *testing.T) {
+	r := trace.Record{UID: 7, PID: 42, Host: 3, File: 11, Dev: 2, Path: "/home/u7/f"}
+	e := NewExtractor(AllPathMask)
+	v := e.Extract(&r)
+	if len(v.Scalars) != 3 {
+		t.Fatalf("scalars = %v, want 3 items (user, process, host)", v.Scalars)
+	}
+	if v.Path != "/home/u7/f" {
+		t.Fatalf("path = %q", v.Path)
+	}
+	e2 := NewExtractor(MaskOf(AttrFileID, AttrDevice))
+	v2 := e2.Extract(&r)
+	if len(v2.Scalars) != 2 || v2.Path != "" {
+		t.Fatalf("file-id extraction wrong: %+v", v2)
+	}
+}
+
+func TestExtractorNamespacing(t *testing.T) {
+	// User 5 must not collide with process 5.
+	a := trace.Record{UID: 5, PID: 1}
+	b := trace.Record{UID: 1, PID: 5}
+	e := NewExtractor(MaskOf(AttrUser, AttrProcess))
+	if got := e.Similarity(&a, &b); got != 0 {
+		t.Fatalf("cross-attribute collision: sim = %v, want 0", got)
+	}
+}
+
+func TestExtractorSimilarityFullMatch(t *testing.T) {
+	a := trace.Record{UID: 5, PID: 9, Host: 2, Path: "/h/u/f"}
+	e := NewExtractor(AllPathMask)
+	if got := e.Similarity(&a, &a); !almost(got, 1) {
+		t.Fatalf("self similarity = %v, want 1", got)
+	}
+}
+
+func TestDefaultMask(t *testing.T) {
+	if DefaultMask(true) != AllPathMask {
+		t.Fatal("DefaultMask(true) != AllPathMask")
+	}
+	if DefaultMask(false) != AllFileIDMask {
+		t.Fatal("DefaultMask(false) != AllFileIDMask")
+	}
+}
+
+func TestVectorLen(t *testing.T) {
+	v := Vector{Scalars: []string{"a", "b"}, Path: "/x/y/z"}
+	if got := v.Len(IPA); got != 3 {
+		t.Fatalf("IPA len = %d, want 3", got)
+	}
+	if got := v.Len(DPA); got != 5 {
+		t.Fatalf("DPA len = %d, want 5", got)
+	}
+	noPath := Vector{Scalars: []string{"a"}}
+	if got := noPath.Len(DPA); got != 1 {
+		t.Fatalf("no-path DPA len = %d, want 1", got)
+	}
+}
+
+func TestPathAlgString(t *testing.T) {
+	if IPA.String() != "IPA" || DPA.String() != "DPA" {
+		t.Fatal("PathAlg String wrong")
+	}
+}

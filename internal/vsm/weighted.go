@@ -1,0 +1,231 @@
+package vsm
+
+import (
+	"fmt"
+	"math"
+
+	"farmer/internal/trace"
+)
+
+// Weighted similarity — the paper's §7 future work: "multiple regression
+// can be used to learn more about association between file correlations and
+// attributes". WeightedSim generalises Sim with one weight per attribute;
+// Regression learns those weights from labelled access pairs by logistic
+// regression on per-attribute match indicators.
+
+// Weights assigns one non-negative weight per attribute. The unweighted
+// model is all-ones.
+type Weights [NumAttrs]float64
+
+// UniformWeights returns the all-ones weights (equivalent to plain Sim over
+// the same mask).
+func UniformWeights() Weights {
+	var w Weights
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// matchVector computes the per-attribute match indicator between two
+// records under a mask. Scalar attributes contribute 0/1; the path
+// attribute contributes its fractional component similarity.
+func matchVector(a, b *trace.Record, mask Mask) [NumAttrs]float64 {
+	var mv [NumAttrs]float64
+	eq := func(x, y uint32) float64 {
+		if x == y {
+			return 1
+		}
+		return 0
+	}
+	if mask.Has(AttrUser) {
+		mv[AttrUser] = eq(a.UID, b.UID)
+	}
+	if mask.Has(AttrProcess) {
+		mv[AttrProcess] = eq(a.PID, b.PID)
+	}
+	if mask.Has(AttrHost) {
+		mv[AttrHost] = eq(a.Host, b.Host)
+	}
+	if mask.Has(AttrFileID) {
+		mv[AttrFileID] = eq(uint32(a.File), uint32(b.File))
+	}
+	if mask.Has(AttrDevice) {
+		mv[AttrDevice] = eq(a.Dev, b.Dev)
+	}
+	if mask.Has(AttrPath) && a.Path != "" && b.Path != "" {
+		mv[AttrPath] = PathSimilarity(a.Path, b.Path)
+	}
+	return mv
+}
+
+// WeightedSim is the weighted semantic distance: the weighted mean of
+// per-attribute match indicators over the enabled attributes,
+//
+//	sim_w(A,B) = Σ w_i·m_i / Σ w_i
+//
+// which reduces to the IPA Sim (up to the max-vs-sum normalisation) at
+// uniform weights and lets a learned Weights emphasise informative
+// attributes.
+func WeightedSim(a, b *trace.Record, mask Mask, w Weights) float64 {
+	mv := matchVector(a, b, mask)
+	var num, den float64
+	for attr := Attr(0); attr < NumAttrs; attr++ {
+		if !mask.Has(attr) {
+			continue
+		}
+		wi := w[attr]
+		if wi < 0 {
+			wi = 0
+		}
+		num += wi * mv[attr]
+		den += wi
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Pair is one labelled training example: the attribute records of two file
+// accesses and whether the files are truly correlated.
+type Pair struct {
+	A, B       *trace.Record
+	Correlated bool
+}
+
+// Regression learns attribute weights by logistic regression on match
+// vectors: P(correlated) = σ(b + Σ w_i·m_i), trained with batch gradient
+// descent. Positive learned coefficients become the attribute weights
+// (clamped at zero — an attribute that anti-predicts correlation is simply
+// unused, keeping WeightedSim a similarity).
+type Regression struct {
+	Mask     Mask
+	Rate     float64 // learning rate; default 0.5
+	Epochs   int     // default 200
+	L2       float64 // ridge penalty; default 0.001
+	coef     [NumAttrs]float64
+	bias     float64
+	trained  bool
+	examples int
+}
+
+// Fit trains on labelled pairs. It fails on an empty or single-class set.
+func (r *Regression) Fit(pairs []Pair) error {
+	if len(pairs) == 0 {
+		return fmt.Errorf("vsm: no training pairs")
+	}
+	pos := 0
+	for _, p := range pairs {
+		if p.Correlated {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(pairs) {
+		return fmt.Errorf("vsm: training pairs are single-class (%d/%d positive)", pos, len(pairs))
+	}
+	if r.Rate <= 0 {
+		r.Rate = 0.5
+	}
+	if r.Epochs <= 0 {
+		r.Epochs = 200
+	}
+	if r.L2 < 0 {
+		r.L2 = 0
+	}
+	// Precompute match vectors.
+	mvs := make([][NumAttrs]float64, len(pairs))
+	ys := make([]float64, len(pairs))
+	for i, p := range pairs {
+		mvs[i] = matchVector(p.A, p.B, r.Mask)
+		if p.Correlated {
+			ys[i] = 1
+		}
+	}
+	n := float64(len(pairs))
+	for epoch := 0; epoch < r.Epochs; epoch++ {
+		var gradB float64
+		var grad [NumAttrs]float64
+		for i := range mvs {
+			z := r.bias
+			for a := Attr(0); a < NumAttrs; a++ {
+				z += r.coef[a] * mvs[i][a]
+			}
+			p := 1 / (1 + math.Exp(-z))
+			diff := p - ys[i]
+			gradB += diff
+			for a := Attr(0); a < NumAttrs; a++ {
+				grad[a] += diff * mvs[i][a]
+			}
+		}
+		r.bias -= r.Rate * gradB / n
+		for a := Attr(0); a < NumAttrs; a++ {
+			r.coef[a] -= r.Rate * (grad[a]/n + r.L2*r.coef[a])
+		}
+	}
+	r.trained = true
+	r.examples = len(pairs)
+	return nil
+}
+
+// Weights converts the learned coefficients into similarity weights
+// (negative coefficients clamp to zero).
+func (r *Regression) Weights() (Weights, error) {
+	if !r.trained {
+		return Weights{}, fmt.Errorf("vsm: regression not fitted")
+	}
+	var w Weights
+	for a := Attr(0); a < NumAttrs; a++ {
+		if c := r.coef[a]; c > 0 {
+			w[a] = c
+		}
+	}
+	return w, nil
+}
+
+// Coef exposes a learned coefficient (tests, diagnostics).
+func (r *Regression) Coef(a Attr) float64 { return r.coef[a] }
+
+// Predict returns P(correlated) for a pair under the learned model.
+func (r *Regression) Predict(a, b *trace.Record) float64 {
+	mv := matchVector(a, b, r.Mask)
+	z := r.bias
+	for attr := Attr(0); attr < NumAttrs; attr++ {
+		z += r.coef[attr] * mv[attr]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// TrainingPairsFromTrace builds a labelled pair set from a trace with
+// ground-truth groups: adjacent-in-window same-group accesses are positive;
+// window-adjacent cross-group accesses are negative. maxPairs bounds the
+// set (0 = 10,000).
+func TrainingPairsFromTrace(t *trace.Trace, window, maxPairs int) []Pair {
+	if window <= 0 {
+		window = 3
+	}
+	if maxPairs <= 0 {
+		maxPairs = 10000
+	}
+	var pairs []Pair
+	for i := 1; i < len(t.Records) && len(pairs) < maxPairs; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			a, b := &t.Records[j], &t.Records[i]
+			if a.File == b.File {
+				continue
+			}
+			if a.Group < 0 && b.Group < 0 {
+				continue // two noise records teach nothing
+			}
+			pairs = append(pairs, Pair{A: a, B: b, Correlated: a.Group >= 0 && a.Group == b.Group})
+			if len(pairs) == maxPairs {
+				break
+			}
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,163 @@
+package vsm
+
+import (
+	"math"
+	"testing"
+
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+)
+
+func recAt(f trace.FileID, uid, pid, host uint32, path string) *trace.Record {
+	return &trace.Record{File: f, UID: uid, PID: pid, Host: host, Path: path}
+}
+
+func TestWeightedSimUniformMatchesIntuition(t *testing.T) {
+	a := recAt(1, 1, 2, 3, "/d/a")
+	b := recAt(2, 1, 9, 3, "/d/b")
+	// Matches: user 1, host 1, process 0, path 1/2 -> mean (1+0+1+0.5)/4.
+	got := WeightedSim(a, b, AllPathMask, UniformWeights())
+	if math.Abs(got-0.625) > 1e-12 {
+		t.Fatalf("uniform weighted sim = %v, want 0.625", got)
+	}
+}
+
+func TestWeightedSimZeroWeightsIgnoreAttr(t *testing.T) {
+	a := recAt(1, 1, 2, 3, "/d/a")
+	b := recAt(2, 9, 2, 9, "/e/b")
+	w := UniformWeights()
+	w[AttrUser] = 0
+	w[AttrHost] = 0
+	w[AttrPath] = 0
+	// Only process remains: exact match -> 1.
+	if got := WeightedSim(a, b, AllPathMask, w); got != 1 {
+		t.Fatalf("process-only weighted sim = %v, want 1", got)
+	}
+}
+
+func TestWeightedSimEmpty(t *testing.T) {
+	a := recAt(1, 1, 2, 3, "")
+	if got := WeightedSim(a, a, 0, UniformWeights()); got != 0 {
+		t.Fatalf("empty-mask sim = %v", got)
+	}
+	var zero Weights
+	if got := WeightedSim(a, a, AllPathMask, zero); got != 0 {
+		t.Fatalf("zero-weight sim = %v", got)
+	}
+}
+
+func TestWeightedSimNegativeWeightClamped(t *testing.T) {
+	a := recAt(1, 1, 2, 3, "/d/a")
+	w := UniformWeights()
+	w[AttrUser] = -5
+	got := WeightedSim(a, a, MaskOf(AttrUser, AttrProcess), w)
+	if got != 1 { // only process effectively enabled; self-match = 1
+		t.Fatalf("negative weight not clamped: %v", got)
+	}
+}
+
+func TestRegressionRejectsBadSets(t *testing.T) {
+	r := &Regression{Mask: AllPathMask}
+	if err := r.Fit(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	a := recAt(1, 1, 1, 1, "/d/a")
+	b := recAt(2, 1, 1, 1, "/d/b")
+	if err := r.Fit([]Pair{{a, b, true}, {a, b, true}}); err == nil {
+		t.Fatal("single-class set accepted")
+	}
+	if _, err := r.Weights(); err == nil {
+		t.Fatal("weights before fit accepted")
+	}
+}
+
+// TestRegressionLearnsInformativeAttribute: build pairs where the process
+// id perfectly predicts correlation while the host id is pure noise; the
+// learned process coefficient must dominate the host coefficient.
+func TestRegressionLearnsInformativeAttribute(t *testing.T) {
+	var pairs []Pair
+	for i := 0; i < 400; i++ {
+		correlated := i%2 == 0
+		pid := uint32(7)
+		pidB := pid
+		if !correlated {
+			pidB = 99 // mismatch on uncorrelated pairs
+		}
+		hostA := uint32(i % 3)
+		hostB := uint32((i / 2) % 3) // uncorrelated with the label
+		a := recAt(trace.FileID(i), 1, pid, hostA, "")
+		b := recAt(trace.FileID(i+1000), 1, pidB, hostB, "")
+		pairs = append(pairs, Pair{a, b, correlated})
+	}
+	r := &Regression{Mask: MaskOf(AttrProcess, AttrHost)}
+	if err := r.Fit(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if r.Coef(AttrProcess) <= r.Coef(AttrHost) {
+		t.Fatalf("process coef %.3f <= host coef %.3f", r.Coef(AttrProcess), r.Coef(AttrHost))
+	}
+	w, err := r.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[AttrProcess] <= 0 {
+		t.Fatalf("informative attribute got weight %v", w[AttrProcess])
+	}
+	// Prediction sanity: matched-pid pair scores above mismatched.
+	pm := r.Predict(recAt(1, 1, 7, 0, ""), recAt(2, 1, 7, 0, ""))
+	px := r.Predict(recAt(1, 1, 7, 0, ""), recAt(2, 1, 99, 0, ""))
+	if pm <= px {
+		t.Fatalf("P(match)=%v <= P(mismatch)=%v", pm, px)
+	}
+}
+
+// TestRegressionOnGeneratedTrace: train on ground-truth labels from the HP
+// workload; learned weights must separate correlated from uncorrelated
+// pairs better than chance.
+func TestRegressionOnGeneratedTrace(t *testing.T) {
+	tr := tracegen.HP(20000).MustGenerate()
+	pairs := TrainingPairsFromTrace(tr, 3, 8000)
+	if len(pairs) < 1000 {
+		t.Fatalf("too few training pairs: %d", len(pairs))
+	}
+	train, test := pairs[:len(pairs)/2], pairs[len(pairs)/2:]
+	r := &Regression{Mask: AllPathMask}
+	if err := r.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy at threshold 0.5 on held-out pairs.
+	correct, total := 0, 0
+	for _, p := range test {
+		pred := r.Predict(p.A, p.B) >= 0.5
+		if pred == p.Correlated {
+			correct++
+		}
+		total++
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.75 {
+		t.Fatalf("held-out accuracy %.3f below 0.75", acc)
+	}
+}
+
+func TestTrainingPairsLabels(t *testing.T) {
+	tr := tracegen.HP(5000).MustGenerate()
+	pairs := TrainingPairsFromTrace(tr, 3, 2000)
+	pos, neg := 0, 0
+	for _, p := range pairs {
+		if p.Correlated {
+			if p.A.Group != p.B.Group || p.A.Group < 0 {
+				t.Fatal("positive pair with mismatched groups")
+			}
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("degenerate label split: %d/%d", pos, neg)
+	}
+	if len(pairs) > 2000 {
+		t.Fatalf("maxPairs not respected: %d", len(pairs))
+	}
+}
