@@ -6,8 +6,11 @@
 package farmer_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"farmer"
 	"farmer/internal/exp"
 )
 
@@ -128,6 +131,52 @@ func BenchmarkAblationFootprint(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + tab.String())
 		}
+	}
+}
+
+// BenchmarkIngestSingleLock mines a full HP workload through the
+// single-lock Model — the baseline for BenchmarkIngestSharded. Compare the
+// records/s metrics: on a multi-core machine the sharded batch path should
+// scale near-linearly (its serial dispatch fraction is <10% of the
+// single-lock mining cost; see EXPERIMENTS.md).
+func BenchmarkIngestSingleLock(b *testing.B) {
+	tr, err := farmer.Generate(farmer.HP(benchRecords))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := farmer.ConfigFor(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := farmer.New(cfg)
+		for j := range tr.Records {
+			m.Feed(&tr.Records[j])
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkIngestSharded mines the same workload through ShardedModel's
+// concurrent batch path at several stripe widths.
+func BenchmarkIngestSharded(b *testing.B) {
+	tr, err := farmer.Generate(farmer.HP(benchRecords))
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardCounts := []int{4}
+	if p := runtime.GOMAXPROCS(0); p != 4 {
+		shardCounts = append(shardCounts, p)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := farmer.ConfigFor(tr)
+			cfg.Shards = shards
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := farmer.NewSharded(cfg)
+				m.FeedTraceParallel(tr)
+			}
+			b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
 	}
 }
 

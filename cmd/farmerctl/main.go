@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	farmerctl [-records N] [-parallel N] <experiment>...
+//	farmerctl [-records N] [-parallel N] [-shards N] <experiment>...
 //
 // Experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 table3 table4 ablation
 // all. fig3 accepts -trace (default runs all four traces).
@@ -21,6 +21,7 @@ import (
 func main() {
 	records := flag.Int("records", 30000, "records per generated trace")
 	parallelism := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "FARMER miner shards per MDS (0 = match MDS workers, 1 = single-lock)")
 	traceName := flag.String("trace", "", "trace for fig3/ablation (LLNL, INS, RES, HP; empty = all/HP)")
 	flag.Usage = usage
 	flag.Parse()
@@ -28,7 +29,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	opt := exp.Options{Records: *records, Parallelism: *parallelism}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "farmerctl: -shards %d is negative\n", *shards)
+		os.Exit(2)
+	}
+	opt := exp.Options{Records: *records, Parallelism: *parallelism, Shards: *shards}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

@@ -33,7 +33,12 @@ func main() {
 	prefetchK := flag.Int("k", 4, "prefetch degree")
 	weight := flag.Float64("p", 0.7, "FARMER weight p")
 	maxStrength := flag.Float64("strength", 0.4, "FARMER max_strength threshold")
+	shards := flag.Int("shards", 0, "FARMER miner shards (0 = match MDS workers, 1 = single-lock)")
 	flag.Parse()
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "mdsim: -shards %d is negative\n", *shards)
+		os.Exit(2)
+	}
 
 	t, err := load(*in, *profile, *records)
 	if err != nil {
@@ -46,7 +51,15 @@ func main() {
 	cfg.MDS.PrefetchK = *prefetchK
 
 	factory := func(e *sim.Engine) (*hust.MDS, error) {
-		p, err := buildPredictor(*policy, t, *weight, *maxStrength)
+		if strings.EqualFold(*policy, "farmer") {
+			mc := core.DefaultConfig()
+			mc.Weight = *weight
+			mc.MaxStrength = *maxStrength
+			mc.Mask = vsm.DefaultMask(t.HasPaths)
+			mc.Shards = *shards
+			return hust.NewFARMERMDS(e, cfg.MDS, nil, mc)
+		}
+		p, err := buildPredictor(*policy)
 		if err != nil {
 			return nil, err
 		}
@@ -88,14 +101,8 @@ func load(in, profile string, records int) (*trace.Trace, error) {
 	return trace.ReadText(f)
 }
 
-func buildPredictor(name string, t *trace.Trace, weight, maxStrength float64) (predictors.Predictor, error) {
+func buildPredictor(name string) (predictors.Predictor, error) {
 	switch strings.ToLower(name) {
-	case "farmer":
-		cfg := core.DefaultConfig()
-		cfg.Weight = weight
-		cfg.MaxStrength = maxStrength
-		cfg.Mask = vsm.DefaultMask(t.HasPaths)
-		return predictors.NewFPA(core.New(cfg)), nil
 	case "nexus":
 		return predictors.NewNexus(predictors.DefaultNexusConfig()), nil
 	case "lru", "none":

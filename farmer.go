@@ -39,6 +39,9 @@ type (
 	Config = core.Config
 	// Model is the streaming four-stage FARMER miner.
 	Model = core.Model
+	// ShardedModel is the FileID-striped concurrent ensemble of Model for
+	// parallel batch ingestion (Config.Shards partitions).
+	ShardedModel = core.ShardedModel
 	// Correlator is one Correlator-List entry: a successor with its
 	// correlation degree and the degree's two components.
 	Correlator = core.Correlator
@@ -80,6 +83,13 @@ const (
 // New creates a FARMER model. It panics on an invalid configuration; use
 // Config.Validate to check first.
 func New(cfg Config) *Model { return core.New(cfg) }
+
+// NewSharded creates a concurrent FARMER miner striped across cfg.Shards
+// partitions (0 and 1 both mean unsharded, preserving Model's exact
+// behavior). FeedBatch/FeedTraceParallel mine with all shards in parallel
+// and still produce the same state a single Model reaches feeding the same
+// records in order. Like New it panics on an invalid configuration.
+func NewSharded(cfg Config) *ShardedModel { return core.NewSharded(cfg) }
 
 // DefaultConfig returns the paper's chosen parameters: weight p = 0.7,
 // max_strength = 0.4, IPA path handling, window-3 linear decremented

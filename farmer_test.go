@@ -75,3 +75,36 @@ func TestCorrelatorListExposed(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicAPISharded exercises the concurrent miner through the public
+// surface: parallel batch ingestion must match the single-lock model's
+// predictions exactly.
+func TestPublicAPISharded(t *testing.T) {
+	tr, err := farmer.Generate(farmer.HP(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := farmer.ConfigFor(tr)
+	single := farmer.New(cfg)
+	for i := range tr.Records {
+		single.Feed(&tr.Records[i])
+	}
+	cfg.Shards = 4
+	sharded := farmer.NewSharded(cfg)
+	sharded.FeedTraceParallel(tr)
+	if sharded.Fed() != single.Fed() {
+		t.Fatalf("fed %d vs %d", sharded.Fed(), single.Fed())
+	}
+	for f := 0; f < tr.FileCount; f++ {
+		id := farmer.FileID(f)
+		want, got := single.Predict(id, 4), sharded.Predict(id, 4)
+		if len(want) != len(got) {
+			t.Fatalf("file %d: %d vs %d predictions", f, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("file %d: prediction %d is %d, want %d", f, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module farmer
+
+go 1.24.0

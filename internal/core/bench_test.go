@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"farmer/internal/trace"
@@ -28,6 +30,43 @@ func BenchmarkPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Predict(trace.FileID(i%tr.FileCount), 4)
+	}
+}
+
+// BenchmarkFeedTraceSingle is the single-lock baseline for the sharded
+// ingestion benchmarks: one full-trace mine per iteration.
+func BenchmarkFeedTraceSingle(b *testing.B) {
+	tr := tracegen.HP(50000).MustGenerate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(DefaultConfig())
+		m.FeedTrace(tr)
+	}
+	b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkFeedTraceSharded mines the same trace through the N-way striped
+// ensemble's batch path; compare records/s against BenchmarkFeedTraceSingle
+// for the parallel speedup.
+func BenchmarkFeedTraceSharded(b *testing.B) {
+	tr := tracegen.HP(50000).MustGenerate()
+	shardCounts := []int{2, 4, 8}
+	if p := runtime.GOMAXPROCS(0); p > 8 {
+		shardCounts = append(shardCounts, p)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Shards = shards
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := NewSharded(cfg)
+				m.FeedTraceParallel(tr)
+			}
+			b.ReportMetric(float64(len(tr.Records))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
 	}
 }
 

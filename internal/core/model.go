@@ -45,6 +45,10 @@ type Config struct {
 	Graph graph.Config
 	// MaxCorrelators bounds each Correlator List; 0 means unbounded.
 	MaxCorrelators int
+	// Shards selects how many FileID-striped partitions NewSharded spreads
+	// the miner across. 0 or 1 keeps the single-lock Model behavior
+	// (paper-exact); Model itself ignores the knob.
+	Shards int
 }
 
 // DefaultConfig returns the paper's chosen parameters for a trace with full
@@ -71,6 +75,9 @@ func (c Config) Validate() error {
 	if c.MaxCorrelators < 0 {
 		return fmt.Errorf("core: negative MaxCorrelators %d", c.MaxCorrelators)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative Shards %d", c.Shards)
+	}
 	return nil
 }
 
@@ -88,6 +95,7 @@ type Correlator struct {
 // concurrently with each other and with Feed.
 type Model struct {
 	cfg       Config
+	winSize   int // lookahead window, normalized like the graph's own
 	extractor *vsm.Extractor
 
 	mu      sync.RWMutex
@@ -108,6 +116,7 @@ func New(cfg Config) *Model {
 	ex.Alg = cfg.PathAlg
 	return &Model{
 		cfg:       cfg,
+		winSize:   cfg.Graph.Normalized().Window,
 		extractor: ex,
 		g:         graph.New(cfg.Graph),
 		vectors:   make(map[trace.FileID]vsm.Vector),
@@ -139,8 +148,11 @@ func (m *Model) Feed(r *trace.Record) {
 		m.evaluate(pred, r.File)
 	}
 
+	// Trim to the same normalized window the graph credits: evaluating
+	// predecessors the graph no longer assigns credit to would only recompute
+	// unchanged degrees.
 	m.window = append(m.window, r.File)
-	if w := m.cfg.Graph.Window; w > 0 && len(m.window) > w {
+	if w := m.winSize; len(m.window) > w {
 		copy(m.window, m.window[1:])
 		m.window = m.window[:w]
 	}
@@ -150,8 +162,16 @@ func (m *Model) Feed(r *trace.Record) {
 // evaluate recomputes R(pred, succ) and updates pred's Correlator List,
 // holding m.mu.
 func (m *Model) evaluate(pred, succ trace.FileID) {
-	vp, okP := m.vectors[pred]
 	vs, okS := m.vectors[succ]
+	m.evaluateVec(pred, succ, vs, okS)
+}
+
+// evaluateVec is evaluate with the successor's semantic vector supplied by
+// the caller. Sharded ingestion routes an edge event to the shard owning
+// pred, which stores pred's vector but not succ's, so the dispatcher ships
+// succ's freshly extracted vector along with the event.
+func (m *Model) evaluateVec(pred, succ trace.FileID, vs vsm.Vector, okS bool) {
+	vp, okP := m.vectors[pred]
 	var sim float64
 	if okP && okS {
 		sim = vsm.Sim(&vp, &vs, m.cfg.PathAlg)

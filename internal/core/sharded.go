@@ -1,0 +1,283 @@
+// Sharded ingestion: an N-way, FileID-striped ensemble of Model that lets
+// the four-stage pipeline use every core during heavy-traffic mining.
+//
+// Model.Feed serializes all ingestion behind one mutex, so a multi-worker
+// MDS replaying a peta-scale request stream mines on a single core. The
+// sharded miner splits the work by the only key all mined state is indexed
+// under — the predecessor FileID: file x's Correlator List, its graph node
+// (N_x and every N_xy), and its semantic vector all live on shard(x), and
+// nowhere else. A single dispatcher replays the lookahead window in global
+// stream order (cheap: window bookkeeping plus Stage-1 extraction) and
+// fans the expensive Stage-3/4 work — semantic-similarity evaluation and
+// Correlator-List resorting — out to the owning shards as ordered events.
+//
+// Because every event stream a shard consumes is FIFO in global stream
+// order and shard state is disjoint, an N-shard batch ingest produces
+// exactly the state a single Model reaches feeding the same records in
+// order — not merely "within tolerance". The only divergence window is
+// mid-batch reads, which may observe one shard ahead of another.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"farmer/internal/graph"
+	"farmer/internal/trace"
+	"farmer/internal/vsm"
+)
+
+// shardEvent is one unit of work routed to the shard owning its state.
+// access events install the freshly extracted semantic vector of succ on
+// shard(succ); edge events add LDA credit to pred->succ and re-evaluate
+// R(pred, succ) on shard(pred), carrying succ's vector because the owning
+// shard does not store it.
+type shardEvent struct {
+	pred   trace.FileID
+	succ   trace.FileID
+	credit float64
+	vec    vsm.Vector
+	access bool
+}
+
+// applyEvents replays ordered events against one shard under its lock.
+func (m *Model) applyEvents(evs []shardEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range evs {
+		ev := &evs[i]
+		if ev.access {
+			m.vectors[ev.succ] = ev.vec
+			continue
+		}
+		if ev.credit > 0 {
+			m.g.Add(ev.pred, ev.succ, ev.credit)
+		}
+		m.evaluateVec(ev.pred, ev.succ, ev.vec, true)
+	}
+}
+
+// ShardedModel is a FileID-striped ensemble of Models with concurrent batch
+// ingestion. Feed and FeedBatch may be called from multiple goroutines;
+// read methods are safe concurrently with ingestion (mid-batch they observe
+// a consistent-per-shard but possibly staggered snapshot).
+//
+// With Config.Shards <= 1 the ensemble is a single Model fed through its
+// ordinary single-lock path, so results — including intermediate states —
+// are bit-identical to Model.
+type ShardedModel struct {
+	cfg       Config
+	gcfg      graph.Config // normalized; drives dispatcher windowing
+	shards    []*Model
+	extractor *vsm.Extractor
+
+	dmu    sync.Mutex // serializes dispatch (window + emission order)
+	window []trace.FileID
+	one    [1]shardEvent // scratch for the streaming Feed path
+	fed    atomic.Uint64
+}
+
+// NewSharded creates a sharded miner with cfg.Shards partitions (0 and 1
+// both mean unsharded). Like New it panics on invalid configuration.
+func NewSharded(cfg Config) *ShardedModel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	shardCfg := cfg
+	shardCfg.Shards = 0
+	s := &ShardedModel{cfg: cfg, gcfg: cfg.Graph.Normalized()}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, New(shardCfg))
+	}
+	ex := vsm.NewExtractor(cfg.Mask)
+	ex.Alg = cfg.PathAlg
+	s.extractor = ex
+	return s
+}
+
+// shardOf stripes a FileID across n partitions (Fibonacci hashing, so
+// contiguously allocated correlation groups spread evenly).
+func shardOf(f trace.FileID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((uint64(f) * 0x9E3779B97F4A7C15 >> 32) % uint64(n))
+}
+
+// Config returns the ensemble's configuration (including Shards).
+func (s *ShardedModel) Config() Config { return s.cfg }
+
+// Shards reports the partition count.
+func (s *ShardedModel) Shards() int { return len(s.shards) }
+
+func (s *ShardedModel) shardFor(f trace.FileID) *Model {
+	return s.shards[shardOf(f, len(s.shards))]
+}
+
+// dispatchLocked runs Stage 1 for one record and emits the per-shard events
+// that complete Stages 2-4, mirroring Model.Feed: LDA credit for every
+// window predecessor (most recent first, as graph.Feed assigns it) fused
+// with the re-evaluation of R(pred, file). Callers hold s.dmu.
+func (s *ShardedModel) dispatchLocked(r *trace.Record, emit func(shard int, ev shardEvent)) {
+	n := len(s.shards)
+	v := s.extractor.Extract(r)
+	emit(shardOf(r.File, n), shardEvent{succ: r.File, vec: v, access: true})
+	for i := len(s.window) - 1; i >= 0; i-- {
+		pred := s.window[i]
+		if pred == r.File {
+			continue
+		}
+		dist := len(s.window) - i // 1 = immediate predecessor
+		credit := 1.0 - float64(dist-1)*s.gcfg.Decrement
+		if credit < s.gcfg.MinAssign {
+			credit = s.gcfg.MinAssign
+		}
+		emit(shardOf(pred, n), shardEvent{pred: pred, succ: r.File, credit: credit, vec: v})
+	}
+	s.window = append(s.window, r.File)
+	if len(s.window) > s.gcfg.Window {
+		copy(s.window, s.window[1:])
+		s.window = s.window[:s.gcfg.Window]
+	}
+	s.fed.Add(1)
+}
+
+// Feed ingests one record. Unlike Model.Feed it is safe to call from many
+// goroutines: dispatch is serialized, state updates take only the owning
+// shard's lock.
+func (s *ShardedModel) Feed(r *trace.Record) {
+	if len(s.shards) == 1 {
+		s.shards[0].Feed(r)
+		s.fed.Add(1)
+		return
+	}
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	s.dispatchLocked(r, func(shard int, ev shardEvent) {
+		s.one[0] = ev
+		s.shards[shard].applyEvents(s.one[:])
+	})
+}
+
+// eventChunk sizes the batches of events shipped to a shard worker: large
+// enough to amortize channel and lock traffic, small enough to keep all
+// shards busy on modest batches.
+const eventChunk = 512
+
+// FeedBatch ingests a batch of records with all shards mining in parallel.
+// The records are treated as one contiguous stream segment continuing the
+// model's current lookahead window; the final state is identical to feeding
+// the same records through a single Model in order. The call returns after
+// every shard has drained its events.
+func (s *ShardedModel) FeedBatch(records []trace.Record) {
+	if len(records) == 0 {
+		return
+	}
+	if len(s.shards) == 1 {
+		for i := range records {
+			s.shards[0].Feed(&records[i])
+		}
+		s.fed.Add(uint64(len(records)))
+		return
+	}
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+
+	n := len(s.shards)
+	chans := make([]chan []shardEvent, n)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan []shardEvent, 8)
+		wg.Add(1)
+		go func(m *Model, ch <-chan []shardEvent) {
+			defer wg.Done()
+			for evs := range ch {
+				m.applyEvents(evs)
+			}
+		}(s.shards[i], chans[i])
+	}
+
+	bufs := make([][]shardEvent, n)
+	emit := func(shard int, ev shardEvent) {
+		bufs[shard] = append(bufs[shard], ev)
+		if len(bufs[shard]) >= eventChunk {
+			chans[shard] <- bufs[shard]
+			bufs[shard] = nil
+		}
+	}
+	for i := range records {
+		s.dispatchLocked(&records[i], emit)
+	}
+	for i := range chans {
+		if len(bufs[i]) > 0 {
+			chans[i] <- bufs[i]
+		}
+		close(chans[i])
+	}
+	wg.Wait()
+}
+
+// FeedTraceParallel is the batch-ingestion entry point for whole traces —
+// the concurrent counterpart of Model.FeedTrace.
+func (s *ShardedModel) FeedTraceParallel(t *trace.Trace) { s.FeedBatch(t.Records) }
+
+// CorrelatorList returns a copy of the file's sorted Correlator List from
+// the owning shard.
+func (s *ShardedModel) CorrelatorList(f trace.FileID) []Correlator {
+	return s.shardFor(f).CorrelatorList(f)
+}
+
+// Predict returns up to k successors of f in decreasing correlation degree,
+// read from the single shard that owns f's list.
+func (s *ShardedModel) Predict(f trace.FileID, k int) []trace.FileID {
+	return s.shardFor(f).Predict(f, k)
+}
+
+// Degree returns R(x,y) as recorded on x's owning shard.
+func (s *ShardedModel) Degree(x, y trace.FileID) float64 {
+	return s.shardFor(x).Degree(x, y)
+}
+
+// Vector returns the last semantic vector extracted for a file.
+func (s *ShardedModel) Vector(f trace.FileID) (vsm.Vector, bool) {
+	return s.shardFor(f).Vector(f)
+}
+
+// Fed reports how many records the ensemble has ingested.
+func (s *ShardedModel) Fed() uint64 { return s.fed.Load() }
+
+// ResetWindow forgets the lookahead window (stream boundary) while keeping
+// all mined knowledge.
+func (s *ShardedModel) ResetWindow() {
+	if len(s.shards) == 1 {
+		s.shards[0].ResetWindow()
+		return
+	}
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	s.window = s.window[:0]
+}
+
+// Stats merges the per-shard footprints. Shard state is disjoint, so the
+// sums equal a single Model's footprint for the same stream.
+func (s *ShardedModel) Stats() Stats {
+	var out Stats
+	for _, m := range s.shards {
+		st := m.Stats()
+		out.TrackedFiles += st.TrackedFiles
+		out.Lists += st.Lists
+		out.Correlators += st.Correlators
+		out.GraphNodes += st.GraphNodes
+		out.GraphEdges += st.GraphEdges
+		out.MemoryBytes += st.MemoryBytes
+	}
+	out.Fed = s.fed.Load()
+	return out
+}
+
+// Shard exposes one partition's Model (tests, persistence experiments).
+func (s *ShardedModel) Shard(i int) *Model { return s.shards[i] }

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+)
+
+// shardTrace generates a mid-size HP-style trace for equivalence checks.
+func shardTrace(t testing.TB, records int) *trace.Trace {
+	t.Helper()
+	tr, err := tracegen.HP(records).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// assertModelsEqual compares the complete mined state (Correlator Lists,
+// degrees, graph footprint) of two miners over every file of the trace.
+// tol = 0 demands bit-identical degrees.
+func assertModelsEqual(t *testing.T, tr *trace.Trace, want *Model, got *ShardedModel, tol float64) {
+	t.Helper()
+	ws, gs := want.Stats(), got.Stats()
+	if ws.Fed != gs.Fed || ws.TrackedFiles != gs.TrackedFiles || ws.Lists != gs.Lists ||
+		ws.Correlators != gs.Correlators || ws.GraphNodes != gs.GraphNodes || ws.GraphEdges != gs.GraphEdges {
+		t.Errorf("stats diverge: single %+v sharded %+v", ws, gs)
+	}
+	for f := 0; f < tr.FileCount; f++ {
+		id := trace.FileID(f)
+		wl, gl := want.CorrelatorList(id), got.CorrelatorList(id)
+		if len(wl) != len(gl) {
+			t.Fatalf("file %d: list length %d vs %d", f, len(wl), len(gl))
+		}
+		for i := range wl {
+			if wl[i].File != gl[i].File {
+				t.Fatalf("file %d entry %d: successor %d vs %d", f, i, wl[i].File, gl[i].File)
+			}
+			if d := math.Abs(wl[i].Degree - gl[i].Degree); d > tol {
+				t.Fatalf("file %d entry %d: degree %v vs %v (|Δ| = %g > %g)",
+					f, i, wl[i].Degree, gl[i].Degree, d, tol)
+			}
+		}
+		wp, gp := want.Predict(id, 4), got.Predict(id, 4)
+		if len(wp) != len(gp) {
+			t.Fatalf("file %d: predict length %d vs %d", f, len(wp), len(gp))
+		}
+		for i := range wp {
+			if wp[i] != gp[i] {
+				t.Fatalf("file %d: prediction %d is %d vs %d", f, i, wp[i], gp[i])
+			}
+		}
+	}
+}
+
+// TestShardedSingleShardBitIdentical checks the Shards<=1 escape hatch: the
+// ensemble must reproduce the single-lock Model exactly (it IS one).
+func TestShardedSingleShardBitIdentical(t *testing.T) {
+	tr := shardTrace(t, 4000)
+	for _, shards := range []int{0, 1} {
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		single := New(DefaultConfig())
+		single.FeedTrace(tr)
+		sm := NewSharded(cfg)
+		sm.FeedTraceParallel(tr)
+		assertModelsEqual(t, tr, single, sm, 0)
+	}
+}
+
+// TestShardedEquivalence feeds the same trace through the single-lock Model
+// and through N-shard ensembles via both the streaming Feed and the batch
+// path. The sharded dispatcher replays the same window in the same order,
+// so the final state must match exactly, not just within tolerance.
+func TestShardedEquivalence(t *testing.T) {
+	tr := shardTrace(t, 6000)
+	single := New(DefaultConfig())
+	single.FeedTrace(tr)
+	for _, shards := range []int{2, 5} {
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		batch := NewSharded(cfg)
+		batch.FeedTraceParallel(tr)
+		assertModelsEqual(t, tr, single, batch, 0)
+
+		stream := NewSharded(cfg)
+		for i := range tr.Records {
+			stream.Feed(&tr.Records[i])
+		}
+		assertModelsEqual(t, tr, single, stream, 0)
+	}
+}
+
+// TestShardedBatchSplitEquivalence checks that the lookahead window carries
+// across FeedBatch calls: many small batches must equal one big batch.
+func TestShardedBatchSplitEquivalence(t *testing.T) {
+	tr := shardTrace(t, 4000)
+	single := New(DefaultConfig())
+	single.FeedTrace(tr)
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	sm := NewSharded(cfg)
+	const step = 777 // deliberately not a multiple of anything
+	for lo := 0; lo < len(tr.Records); lo += step {
+		hi := lo + step
+		if hi > len(tr.Records) {
+			hi = len(tr.Records)
+		}
+		sm.FeedBatch(tr.Records[lo:hi])
+	}
+	assertModelsEqual(t, tr, single, sm, 0)
+}
+
+// TestShardedParallelFeed hammers one ensemble from many goroutines mixing
+// Feed, FeedBatch and reads — the -race exercise for the concurrency claim.
+// Interleaving order is nondeterministic, so it asserts only invariants:
+// the fed count, and that reads never tear.
+func TestShardedParallelFeed(t *testing.T) {
+	tr := shardTrace(t, 6000)
+	cfg := DefaultConfig()
+	cfg.Shards = runtime.GOMAXPROCS(0)
+	sm := NewSharded(cfg)
+
+	workers := 4
+	per := len(tr.Records) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == workers-1 {
+			hi = len(tr.Records)
+		}
+		wg.Add(1)
+		go func(recs []trace.Record, batch bool) {
+			defer wg.Done()
+			if batch {
+				sm.FeedBatch(recs)
+				return
+			}
+			for i := range recs {
+				sm.Feed(&recs[i])
+			}
+		}(tr.Records[lo:hi], w%2 == 0)
+	}
+	// Concurrent readers.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := trace.FileID(i % tr.FileCount)
+				sm.Predict(f, 4)
+				sm.Degree(f, f+1)
+				if i%1024 == 0 {
+					sm.Stats() // full-footprint scan, kept off the hot loop
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got, want := sm.Fed(), uint64(len(tr.Records)); got != want {
+		t.Fatalf("fed %d records, counted %d", want, got)
+	}
+	if st := sm.Stats(); st.Lists == 0 || st.Correlators == 0 {
+		t.Fatalf("no correlations mined under concurrency: %+v", st)
+	}
+}
+
+// TestShardedConfig covers the knob's validation and plumbing.
+func TestShardedConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = -1
+	if cfg.Validate() == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	cfg.Shards = 6
+	sm := NewSharded(cfg)
+	if sm.Shards() != 6 {
+		t.Fatalf("Shards() = %d, want 6", sm.Shards())
+	}
+	if sm.Config().Shards != 6 {
+		t.Fatalf("Config().Shards = %d, want 6", sm.Config().Shards)
+	}
+	if NewSharded(DefaultConfig()).Shards() != 1 {
+		t.Fatal("Shards = 0 should collapse to one partition")
+	}
+}
+
+// TestShardedResetWindow verifies the stream-boundary reset stops credit
+// from crossing the boundary, matching Model.ResetWindow.
+func TestShardedResetWindow(t *testing.T) {
+	tr := shardTrace(t, 3000)
+	mid := len(tr.Records) / 2
+
+	single := New(DefaultConfig())
+	single.FeedTrace(&trace.Trace{Records: tr.Records[:mid], FileCount: tr.FileCount})
+	single.ResetWindow()
+	single.FeedTrace(&trace.Trace{Records: tr.Records[mid:], FileCount: tr.FileCount})
+
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	sm := NewSharded(cfg)
+	sm.FeedBatch(tr.Records[:mid])
+	sm.ResetWindow()
+	sm.FeedBatch(tr.Records[mid:])
+
+	assertModelsEqual(t, tr, single, sm, 0)
+}
+
+// TestShardedEquivalenceUnnormalizedWindow pins the Graph.Window <= 0 case:
+// both miners normalize the evaluation window the same way the graph
+// normalizes its crediting window, so equivalence holds for every valid
+// config, not just the defaults.
+func TestShardedEquivalenceUnnormalizedWindow(t *testing.T) {
+	tr := shardTrace(t, 3000)
+	cfg := DefaultConfig()
+	cfg.Graph.Window = 0 // Validate accepts this; normalization maps it to 3
+	single := New(cfg)
+	single.FeedTrace(tr)
+	cfg.Shards = 4
+	sm := NewSharded(cfg)
+	sm.FeedTraceParallel(tr)
+	assertModelsEqual(t, tr, single, sm, 0)
+}

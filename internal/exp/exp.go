@@ -29,6 +29,11 @@ type Options struct {
 	Replay hust.ReplayConfig
 	// Parallelism bounds concurrent simulations; 0 = GOMAXPROCS.
 	Parallelism int
+	// Shards stripes the FARMER miner inside each simulated MDS: 0 matches
+	// the MDS worker count, 1 forces the paper-exact single-lock model.
+	// Sharded and single-lock mining produce identical results (see
+	// core.ShardedModel); the knob exists to exercise and measure both.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -63,10 +68,12 @@ func parallel(limit int, jobs []func()) {
 	wg.Wait()
 }
 
-// farmerFactory builds an FPA-driven MDS for a trace.
-func farmerFactory(cfg hust.MDSConfig, mc core.Config) func(*sim.Engine) (*hust.MDS, error) {
+// farmerFactory builds an FPA-driven MDS for a trace; shards follows
+// Options.Shards semantics.
+func farmerFactory(cfg hust.MDSConfig, mc core.Config, shards int) func(*sim.Engine) (*hust.MDS, error) {
+	mc.Shards = shards
 	return func(e *sim.Engine) (*hust.MDS, error) {
-		return hust.NewMDS(e, cfg, nil, predictors.NewFPA(core.New(mc)))
+		return hust.NewFARMERMDS(e, cfg, nil, mc)
 	}
 }
 

@@ -94,7 +94,7 @@ func Fig3(opt Options, traceName string) *metrics.Table {
 			wi, si, w, s := wi, si, w, s
 			jobs = append(jobs, func() {
 				mc := farmerConfig(tr, w, s)
-				res, err := hust.Replay(tr, opt.Replay, farmerFactory(opt.Replay.MDS, mc))
+				res, err := hust.Replay(tr, opt.Replay, farmerFactory(opt.Replay.MDS, mc, opt.Shards))
 				if err != nil {
 					panic(err)
 				}
@@ -135,7 +135,7 @@ func Fig5(opt Options) *metrics.Table {
 	hitRatio := func(tr *trace.Trace, mask vsm.Mask) float64 {
 		mc := core.DefaultConfig()
 		mc.Mask = mask
-		res, err := hust.Replay(tr, opt.Replay, farmerFactory(opt.Replay.MDS, mc))
+		res, err := hust.Replay(tr, opt.Replay, farmerFactory(opt.Replay.MDS, mc, opt.Shards))
 		if err != nil {
 			panic(err)
 		}
@@ -173,7 +173,7 @@ func Fig6(opt Options) *metrics.Table {
 		i, s := i, s
 		jobs = append(jobs, func() {
 			mc := farmerConfig(tr, 0.7, s)
-			r, err := hust.Replay(tr, opt.Replay, farmerFactory(opt.Replay.MDS, mc))
+			r, err := hust.Replay(tr, opt.Replay, farmerFactory(opt.Replay.MDS, mc, opt.Shards))
 			if err != nil {
 				panic(err)
 			}
@@ -212,7 +212,7 @@ func ComparePolicies(opt Options) []PolicyRun {
 	for _, tr := range traces {
 		mc := farmerConfig(tr, 0.7, 0.4)
 		jobsSpec = append(jobsSpec,
-			job{tr, "FARMER", farmerFactory(opt.Replay.MDS, mc)},
+			job{tr, "FARMER", farmerFactory(opt.Replay.MDS, mc, opt.Shards)},
 			job{tr, "Nexus", nexusFactory(opt.Replay.MDS)},
 			job{tr, "LRU", lruFactory(opt.Replay.MDS)},
 		)

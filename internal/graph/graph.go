@@ -35,6 +35,14 @@ func DefaultConfig() Config {
 	return Config{Window: 3, Decrement: 0.1, MinAssign: 0, MaxSuccessors: 64}
 }
 
+// Normalized returns the config with defaults filled in exactly as New
+// would apply them. Sharded ingestion uses it so the dispatcher's window
+// bookkeeping matches the graph's own.
+func (c Config) Normalized() Config {
+	c.normalize()
+	return c
+}
+
 func (c *Config) normalize() {
 	if c.Window <= 0 {
 		c.Window = 3
@@ -103,6 +111,17 @@ func (g *Graph) Feed(f trace.FileID) {
 // per-process sub-streams) so credit never crosses streams.
 func (g *Graph) ResetWindow() { g.window = g.window[:0] }
 
+// Add accumulates w credit on the edge from->to without touching the
+// graph's own lookahead window. It is the windowless primitive behind Feed:
+// sharded ingestion computes LDA credits against a globally ordered window
+// and applies them to the shard that owns the edge's source node.
+func (g *Graph) Add(from, to trace.FileID, w float64) {
+	if w <= 0 || from == to {
+		return
+	}
+	g.addEdge(from, to, w)
+}
+
 func (g *Graph) addEdge(from, to trace.FileID, w float64) {
 	n := g.nodes[from]
 	if n == nil {
@@ -111,11 +130,13 @@ func (g *Graph) addEdge(from, to trace.FileID, w float64) {
 	}
 	n.total += w
 	if _, exists := n.edges[to]; !exists && g.cfg.MaxSuccessors > 0 && len(n.edges) >= g.cfg.MaxSuccessors {
-		// Evict the weakest edge to stay within budget.
+		// Evict the weakest edge to stay within budget. Ties break toward the
+		// lowest file id so eviction — and therefore the whole mined state —
+		// is deterministic regardless of map iteration order.
 		var victim trace.FileID
 		minW := -1.0
 		for id, ew := range n.edges {
-			if minW < 0 || ew < minW {
+			if minW < 0 || ew < minW || (ew == minW && id < victim) {
 				minW = ew
 				victim = id
 			}

@@ -299,3 +299,52 @@ func TestPrefetchDoesNotStarveDemand(t *testing.T) {
 		t.Fatalf("demand wait %v exploded under prefetch load", res.Stats.AvgDemandWait)
 	}
 }
+
+// TestFARMERMDSShardedMatchesSingleLock replays the same trace through an
+// MDS whose miner is single-lock and one striped across shards. Sharded
+// mining is exactly equivalent, so every simulation outcome — hit ratio,
+// prefetches, response times — must be identical.
+func TestFARMERMDSShardedMatchesSingleLock(t *testing.T) {
+	tr := tracegen.HP(6000).MustGenerate()
+	replay := func(shards int) Stats {
+		cfg := DefaultReplayConfig()
+		res, err := Replay(tr, cfg, func(e *sim.Engine) (*MDS, error) {
+			mc := core.DefaultConfig()
+			mc.Mask = vsm.DefaultMask(tr.HasPaths)
+			mc.Shards = shards
+			return NewFARMERMDS(e, cfg.MDS, nil, mc)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	single, sharded := replay(1), replay(4)
+	if single != sharded {
+		t.Fatalf("sharded miner changed the simulation:\n single  %+v\n sharded %+v", single, sharded)
+	}
+	if single.PrefetchIssued == 0 {
+		t.Fatal("no prefetches issued; comparison is vacuous")
+	}
+}
+
+// TestFARMERMDSDefaultsShardsToWorkers checks the worker-matched striping.
+func TestFARMERMDSDefaultsShardsToWorkers(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultMDSConfig()
+	mds, err := NewFARMERMDS(eng, cfg, nil, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpa, ok := mds.Predictor().(*predictors.FPA)
+	if !ok {
+		t.Fatalf("predictor is %T, want *predictors.FPA", mds.Predictor())
+	}
+	sm, ok := fpa.Miner().(*core.ShardedModel)
+	if !ok {
+		t.Fatalf("miner is %T, want *core.ShardedModel", fpa.Miner())
+	}
+	if sm.Shards() != cfg.Workers {
+		t.Fatalf("shards = %d, want %d workers", sm.Shards(), cfg.Workers)
+	}
+}

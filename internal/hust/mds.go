@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"farmer/internal/cache"
+	"farmer/internal/core"
 	"farmer/internal/kvstore"
 	"farmer/internal/metrics"
 	"farmer/internal/predictors"
@@ -104,6 +105,24 @@ func NewMDS(eng *sim.Engine, cfg MDSConfig, store *kvstore.Store, pred predictor
 		store: store,
 		pred:  pred,
 	}, nil
+}
+
+// NewFARMERMDS builds an MDS whose prefetcher is a FARMER miner. When
+// mc.Shards is 0 the miner is striped to match cfg.Workers — the
+// configuration a real deployment would run, where each metadata service
+// thread mines without contending on a single model lock. The simulator
+// itself is a single-goroutine discrete-event engine, so here the stripe
+// width is modeled configuration, not actual parallelism; sharded and
+// single-lock mining produce identical results either way (see
+// core.ShardedModel), and mc.Shards = 1 selects the single-lock miner.
+func NewFARMERMDS(eng *sim.Engine, cfg MDSConfig, store *kvstore.Store, mc core.Config) (*MDS, error) {
+	if mc.Shards == 0 {
+		mc.Shards = cfg.Workers
+	}
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	return NewMDS(eng, cfg, store, predictors.NewFPA(core.NewSharded(mc)))
 }
 
 // metaKey renders a store key for a file's metadata record.

@@ -361,17 +361,33 @@ func (p *scoped) Predict(f trace.FileID, k int) []trace.FileID {
 
 // ------------------------------------------------------------------ FARMER
 
-// FPA adapts the FARMER core model to the Predictor interface — the
-// FARMER-enabled Prefetching Algorithm of §4.1/§5.
-type FPA struct {
-	m *core.Model
+// Miner is the mining surface FPA drives: the single-lock core.Model and
+// the FileID-striped core.ShardedModel both satisfy it, so a multi-worker
+// MDS can swap in the sharded miner without touching the prefetch path.
+type Miner interface {
+	Feed(r *trace.Record)
+	Predict(f trace.FileID, k int) []trace.FileID
+	Stats() core.Stats
 }
 
-// NewFPA wraps a FARMER model.
-func NewFPA(m *core.Model) *FPA { return &FPA{m: m} }
+// FPA adapts a FARMER miner to the Predictor interface — the
+// FARMER-enabled Prefetching Algorithm of §4.1/§5.
+type FPA struct {
+	m Miner
+}
 
-// Model exposes the underlying FARMER model (for stats).
-func (p *FPA) Model() *core.Model { return p.m }
+// NewFPA wraps a FARMER miner (core.Model or core.ShardedModel).
+func NewFPA(m Miner) *FPA { return &FPA{m: m} }
+
+// Miner exposes the underlying FARMER miner (for stats).
+func (p *FPA) Miner() Miner { return p.m }
+
+// Model exposes the underlying single-lock model, or nil when the FPA
+// drives a sharded miner.
+func (p *FPA) Model() *core.Model {
+	m, _ := p.m.(*core.Model)
+	return m
+}
 
 // Name implements Predictor.
 func (p *FPA) Name() string { return "FARMER" }
