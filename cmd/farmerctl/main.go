@@ -22,6 +22,8 @@ func main() {
 	records := flag.Int("records", 30000, "records per generated trace")
 	parallelism := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "FARMER miner shards per MDS (0 = match MDS workers, 1 = single-lock)")
+	asyncPrefetch := flag.Bool("async-prefetch", false, "run every simulated MDS with mining/prediction off the demand path")
+	mineTime := flag.Duration("minetime", 0, "modeled per-record mining CPU cost inside each MDS (asynclat defaults to 1ms)")
 	traceName := flag.String("trace", "", "trace for fig3/ablation (LLNL, INS, RES, HP; empty = all/HP)")
 	flag.Usage = usage
 	flag.Parse()
@@ -33,11 +35,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "farmerctl: -shards %d is negative\n", *shards)
 		os.Exit(2)
 	}
-	opt := exp.Options{Records: *records, Parallelism: *parallelism, Shards: *shards}
+	if *mineTime < 0 {
+		fmt.Fprintf(os.Stderr, "farmerctl: -minetime %v is negative\n", *mineTime)
+		os.Exit(2)
+	}
+	opt := exp.Options{
+		Records:       *records,
+		Parallelism:   *parallelism,
+		Shards:        *shards,
+		AsyncPrefetch: *asyncPrefetch,
+		MineTime:      *mineTime,
+	}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "ablation", "quality"}
+		args = []string{"fig1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "ablation", "quality", "asynclat"}
 	}
 
 	var comparison []exp.PolicyRun
@@ -86,6 +98,9 @@ func main() {
 		case "quality":
 			section("Mining quality — precision/recall/F1 vs ground truth (k=4)")
 			fmt.Println(exp.MiningQuality(opt))
+		case "asynclat":
+			section("Sync vs async pipeline — demand latency under mining-heavy load")
+			fmt.Println(exp.AsyncLatency(exp.SyncVsAsync(opt)))
 		case "ablation":
 			tr := *traceName
 			if tr == "" {
@@ -121,6 +136,7 @@ experiments:
   table4   space overhead per trace (paper Table 4)
   ablation filtered vs unfiltered footprint (paper §3.3)
   quality  mining precision/recall/F1 vs ground truth (core claim)
+  asynclat sync vs async prefetch pipeline demand latency (mining-heavy)
   all      everything above
 
 flags:

@@ -34,6 +34,9 @@ func main() {
 	weight := flag.Float64("p", 0.7, "FARMER weight p")
 	maxStrength := flag.Float64("strength", 0.4, "FARMER max_strength threshold")
 	shards := flag.Int("shards", 0, "FARMER miner shards (0 = match MDS workers, 1 = single-lock)")
+	asyncPrefetch := flag.Bool("async-prefetch", false, "mine and predict off the demand path (shard-worker station)")
+	mineTime := flag.Duration("minetime", 0, "modeled per-record mining CPU cost (sync: on the demand path)")
+	pfQueue := flag.Int("pfqueue", 0, "bound on queued prefetches, drop-oldest beyond (0 = unbounded)")
 	flag.Parse()
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "mdsim: -shards %d is negative\n", *shards)
@@ -49,6 +52,13 @@ func main() {
 	cfg := hust.DefaultReplayConfig()
 	cfg.MDS.CacheCapacity = *cacheCap
 	cfg.MDS.PrefetchK = *prefetchK
+	cfg.MDS.AsyncPrefetch = *asyncPrefetch
+	cfg.MDS.MineTime = *mineTime
+	cfg.MDS.PrefetchQueue = *pfQueue
+	if err := cfg.MDS.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	factory := func(e *sim.Engine) (*hust.MDS, error) {
 		if strings.EqualFold(*policy, "farmer") {
@@ -79,6 +89,11 @@ func main() {
 	fmt.Printf("  avg demand wait    %v\n", res.Stats.AvgDemandWait)
 	fmt.Printf("  MDS utilisation    %.3f\n", res.Stats.Utilization)
 	fmt.Printf("  store reads        %d\n", res.Stats.StoreReads)
+	fmt.Printf("  prefetch dropped   %d (of %d issued)\n", res.Stats.PrefetchDropped, res.Stats.PrefetchIssued)
+	if *asyncPrefetch {
+		fmt.Printf("  mining avg wait    %v (off the demand path)\n", res.Stats.MineAvgWait)
+		fmt.Printf("  miner utilisation  %.3f (excluded from MDS utilisation)\n", res.Stats.MineUtilization)
+	}
 	fmt.Printf("  client avg (RTT)   %v\n", res.ClientAvg)
 }
 

@@ -27,6 +27,7 @@ package farmer
 import (
 	"farmer/internal/core"
 	"farmer/internal/graph"
+	"farmer/internal/prefetch"
 	"farmer/internal/trace"
 	"farmer/internal/tracegen"
 	"farmer/internal/vsm"
@@ -61,6 +62,39 @@ type (
 	// WorkloadProfile parameterises the synthetic workload generators.
 	WorkloadProfile = tracegen.Profile
 )
+
+// Async prefetch pipeline, re-exported. A ShardedModel exposes ordered,
+// bounded post-ingest event taps (Tap); StartPrefetcher hangs the async
+// Predict/prefetch pipeline off them so ingestion — the demand path of a
+// metadata server — never waits on prediction or prefetch I/O.
+type (
+	// TapEvent is one post-ingest notification from a ShardedModel tap.
+	TapEvent = core.TapEvent
+	// EventTap is an ordered, bounded, drop-oldest subscription to a
+	// ShardedModel's ingestion stream.
+	EventTap = core.EventTap
+	// PrefetchCandidate is one prefetch the async pipeline wants issued.
+	PrefetchCandidate = prefetch.Candidate
+	// PrefetchSink receives the pipeline's prefetch submissions.
+	PrefetchSink = prefetch.Sink
+	// PrefetchSinkFunc adapts a function to the PrefetchSink interface.
+	PrefetchSinkFunc = prefetch.SinkFunc
+	// PrefetchConfig tunes the async pipeline (degree, queue bound).
+	PrefetchConfig = prefetch.Config
+	// Prefetcher is the running async pipeline; stop it with Stop.
+	Prefetcher = prefetch.Pipeline
+	// PrefetcherStats is the pipeline's throughput/loss accounting.
+	PrefetcherStats = prefetch.Stats
+)
+
+// StartPrefetcher taps the sharded miner and launches the asynchronous
+// Predict/prefetch pipeline: per-shard consumers, a bounded drop-oldest
+// candidate queue, and a submit loop feeding sink. Backpressure sheds
+// prefetch coverage, never ingestion latency. Stop the returned pipeline
+// to drain and detach it.
+func StartPrefetcher(m *ShardedModel, sink PrefetchSink, cfg PrefetchConfig) *Prefetcher {
+	return prefetch.Start(m, sink, cfg)
+}
 
 // Semantic attribute machinery, re-exported.
 type (

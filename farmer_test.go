@@ -1,6 +1,7 @@
 package farmer_test
 
 import (
+	"sync"
 	"testing"
 
 	"farmer"
@@ -104,6 +105,56 @@ func TestPublicAPISharded(t *testing.T) {
 		for i := range want {
 			if want[i] != got[i] {
 				t.Fatalf("file %d: prediction %d is %d, want %d", f, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPublicAPIAsyncPrefetcher(t *testing.T) {
+	tr, err := farmer.Generate(farmer.HP(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := farmer.ConfigFor(tr)
+	cfg.Shards = 4
+	model := farmer.NewSharded(cfg)
+
+	var mu sync.Mutex
+	var got []farmer.PrefetchCandidate
+	sink := farmer.PrefetchSinkFunc(func(c farmer.PrefetchCandidate) {
+		mu.Lock()
+		got = append(got, c)
+		mu.Unlock()
+	})
+	p := farmer.StartPrefetcher(model, sink, farmer.PrefetchConfig{K: 4, QueueCap: 1 << 16, TapBuffer: len(tr.Records)})
+	model.FeedTraceParallel(tr)
+	p.Stop()
+
+	st := p.Stats()
+	if st.Events != uint64(len(tr.Records)) {
+		t.Fatalf("pipeline consumed %d events, want %d", st.Events, len(tr.Records))
+	}
+	if st.Submitted == 0 || uint64(len(got)) != st.Submitted {
+		t.Fatalf("sink saw %d candidates, stats say %d", len(got), st.Submitted)
+	}
+	if st.Predicted != st.Submitted+st.QueueDropped {
+		t.Fatalf("accounting: predicted %d != submitted %d + dropped %d",
+			st.Predicted, st.Submitted, st.QueueDropped)
+	}
+	// The async pipeline must not have perturbed mining.
+	ref := farmer.New(farmer.ConfigFor(tr))
+	for i := range tr.Records {
+		ref.Feed(&tr.Records[i])
+	}
+	for f := 0; f < tr.FileCount; f++ {
+		id := farmer.FileID(f)
+		want, have := ref.Predict(id, 4), model.Predict(id, 4)
+		if len(want) != len(have) {
+			t.Fatalf("file %d: %d vs %d predictions", f, len(have), len(want))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("file %d: prediction %d is %d, want %d", f, i, have[i], want[i])
 			}
 		}
 	}

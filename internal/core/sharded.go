@@ -37,6 +37,7 @@ type shardEvent struct {
 	succ   trace.FileID
 	credit float64
 	vec    vsm.Vector
+	seq    uint64 // global ingest sequence; set on access events for taps
 	access bool
 }
 
@@ -75,6 +76,12 @@ type ShardedModel struct {
 	window []trace.FileID
 	one    [1]shardEvent // scratch for the streaming Feed path
 	fed    atomic.Uint64
+
+	// Event taps (see tap.go). tapCount mirrors len(taps) so the hot path
+	// skips the lock when nobody listens.
+	tmu      sync.RWMutex
+	taps     []*EventTap
+	tapCount atomic.Int32
 }
 
 // NewSharded creates a sharded miner with cfg.Shards partitions (0 and 1
@@ -122,10 +129,11 @@ func (s *ShardedModel) shardFor(f trace.FileID) *Model {
 // that complete Stages 2-4, mirroring Model.Feed: LDA credit for every
 // window predecessor (most recent first, as graph.Feed assigns it) fused
 // with the re-evaluation of R(pred, file). Callers hold s.dmu.
-func (s *ShardedModel) dispatchLocked(r *trace.Record, emit func(shard int, ev shardEvent)) {
+func (s *ShardedModel) dispatchLocked(r *trace.Record, emit func(shard int, ev shardEvent)) uint64 {
 	n := len(s.shards)
+	seq := s.fed.Add(1)
 	v := s.extractor.Extract(r)
-	emit(shardOf(r.File, n), shardEvent{succ: r.File, vec: v, access: true})
+	emit(shardOf(r.File, n), shardEvent{succ: r.File, vec: v, seq: seq, access: true})
 	for i := len(s.window) - 1; i >= 0; i-- {
 		pred := s.window[i]
 		if pred == r.File {
@@ -143,7 +151,7 @@ func (s *ShardedModel) dispatchLocked(r *trace.Record, emit func(shard int, ev s
 		copy(s.window, s.window[1:])
 		s.window = s.window[:s.gcfg.Window]
 	}
-	s.fed.Add(1)
+	return seq
 }
 
 // Feed ingests one record. Unlike Model.Feed it is safe to call from many
@@ -151,16 +159,31 @@ func (s *ShardedModel) dispatchLocked(r *trace.Record, emit func(shard int, ev s
 // shard's lock.
 func (s *ShardedModel) Feed(r *trace.Record) {
 	if len(s.shards) == 1 {
+		if s.tapCount.Load() == 0 {
+			s.shards[0].Feed(r)
+			s.fed.Add(1)
+			return
+		}
+		// dmu keeps seq assignment and tap publication atomic so the tap's
+		// single-publisher FIFO invariant holds for concurrent callers; the
+		// feeds themselves would serialize on the one shard's lock anyway.
+		// (A feed racing tap registration may bypass publication — Tap only
+		// promises events for records ingested after it returns.)
+		s.dmu.Lock()
+		defer s.dmu.Unlock()
 		s.shards[0].Feed(r)
-		s.fed.Add(1)
+		seq := s.fed.Add(1)
+		s.publish(0, TapEvent{Seq: seq, File: r.File, Shard: 0})
 		return
 	}
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
-	s.dispatchLocked(r, func(shard int, ev shardEvent) {
+	seq := s.dispatchLocked(r, func(shard int, ev shardEvent) {
 		s.one[0] = ev
 		s.shards[shard].applyEvents(s.one[:])
 	})
+	home := shardOf(r.File, len(s.shards))
+	s.publish(home, TapEvent{Seq: seq, File: r.File, Shard: home})
 }
 
 // eventChunk sizes the batches of events shipped to a shard worker: large
@@ -178,10 +201,20 @@ func (s *ShardedModel) FeedBatch(records []trace.Record) {
 		return
 	}
 	if len(s.shards) == 1 {
+		if s.tapCount.Load() == 0 {
+			for i := range records {
+				s.shards[0].Feed(&records[i])
+			}
+			s.fed.Add(uint64(len(records)))
+			return
+		}
+		s.dmu.Lock()
+		defer s.dmu.Unlock()
 		for i := range records {
 			s.shards[0].Feed(&records[i])
+			seq := s.fed.Add(1)
+			s.publish(0, TapEvent{Seq: seq, File: records[i].File, Shard: 0})
 		}
-		s.fed.Add(uint64(len(records)))
 		return
 	}
 	s.dmu.Lock()
@@ -193,12 +226,22 @@ func (s *ShardedModel) FeedBatch(records []trace.Record) {
 	for i := range chans {
 		chans[i] = make(chan []shardEvent, 8)
 		wg.Add(1)
-		go func(m *Model, ch <-chan []shardEvent) {
+		go func(shard int, m *Model, ch <-chan []shardEvent) {
 			defer wg.Done()
 			for evs := range ch {
 				m.applyEvents(evs)
+				if s.tapCount.Load() == 0 {
+					continue
+				}
+				// Post-ingest taps: one event per record this shard owns,
+				// published by the lone worker so delivery stays FIFO.
+				for i := range evs {
+					if evs[i].access {
+						s.publish(shard, TapEvent{Seq: evs[i].seq, File: evs[i].succ, Shard: shard})
+					}
+				}
 			}
-		}(s.shards[i], chans[i])
+		}(i, s.shards[i], chans[i])
 	}
 
 	bufs := make([][]shardEvent, n)

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"farmer/internal/trace"
+)
+
+// collectTap drains every shard channel concurrently until closed and
+// returns the per-shard event sequences.
+func collectTap(tap *EventTap) [][]TapEvent {
+	out := make([][]TapEvent, tap.Shards())
+	var wg sync.WaitGroup
+	for i := 0; i < tap.Shards(); i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for ev := range tap.Chan(shard) {
+				out[shard] = append(out[shard], ev)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// TestTapOrderedDelivery checks the core delivery contract: every ingested
+// record produces exactly one event, on the channel of the shard owning the
+// file, in global stream order within each channel — through both the
+// streaming Feed path and the batch path.
+func TestTapOrderedDelivery(t *testing.T) {
+	tr := shardTrace(t, 3000)
+	for _, shards := range []int{1, 4} {
+		for _, batch := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.Shards = shards
+			sm := NewSharded(cfg)
+			// Buffer big enough that nothing is ever dropped.
+			tap := sm.Tap(len(tr.Records) + 1)
+			if batch {
+				sm.FeedTraceParallel(tr)
+			} else {
+				for i := range tr.Records {
+					sm.Feed(&tr.Records[i])
+				}
+			}
+			tap.Close()
+			got := collectTap(tap)
+
+			if d := tap.Dropped(); d != 0 {
+				t.Fatalf("shards=%d batch=%v: %d events dropped with oversized buffer", shards, batch, d)
+			}
+			// Reconstruct the expected per-shard subsequences from the trace.
+			want := make([][]TapEvent, shards)
+			for i := range tr.Records {
+				f := tr.Records[i].File
+				sh := shardOf(f, shards)
+				want[sh] = append(want[sh], TapEvent{Seq: uint64(i + 1), File: f, Shard: sh})
+			}
+			for sh := 0; sh < shards; sh++ {
+				if len(got[sh]) != len(want[sh]) {
+					t.Fatalf("shards=%d batch=%v shard %d: %d events, want %d",
+						shards, batch, sh, len(got[sh]), len(want[sh]))
+				}
+				for i := range got[sh] {
+					if got[sh][i] != want[sh][i] {
+						t.Fatalf("shards=%d batch=%v shard %d event %d: %+v, want %+v",
+							shards, batch, sh, i, got[sh][i], want[sh][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTapDropOldest fills an unconsumed bounded tap and checks drop-oldest
+// semantics: the channel retains the newest events and the drop counter
+// accounts exactly for the evicted prefix.
+func TestTapDropOldest(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 1
+	sm := NewSharded(cfg)
+	const buffer, n = 4, 20
+	tap := sm.Tap(buffer)
+	r := trace.Record{File: 1, Path: "/a/b"}
+	for i := 0; i < n; i++ {
+		sm.Feed(&r)
+	}
+	if got, want := tap.Dropped(), uint64(n-buffer); got != want {
+		t.Fatalf("dropped = %d, want %d", got, want)
+	}
+	if got, want := tap.DroppedShard(0), uint64(n-buffer); got != want {
+		t.Fatalf("DroppedShard(0) = %d, want %d", got, want)
+	}
+	tap.Close()
+	var seqs []uint64
+	for ev := range tap.Chan(0) {
+		seqs = append(seqs, ev.Seq)
+	}
+	if len(seqs) != buffer {
+		t.Fatalf("retained %d events, want %d", len(seqs), buffer)
+	}
+	for i, s := range seqs {
+		if want := uint64(n - buffer + i + 1); s != want {
+			t.Fatalf("retained seq[%d] = %d, want %d (drop-oldest keeps the newest)", i, s, want)
+		}
+	}
+}
+
+// TestTapCloseDrains checks the shutdown protocol: Close is idempotent,
+// terminates consumer range loops after the queued events drain, and
+// ingestion continues safely (and silently) with no registered taps.
+func TestTapCloseDrains(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	sm := NewSharded(cfg)
+	tap := sm.Tap(64)
+	tr := shardTrace(t, 200)
+	sm.FeedBatch(tr.Records[:100])
+	tap.Close()
+	tap.Close() // idempotent
+	got := collectTap(tap)
+	total := 0
+	for _, evs := range got {
+		total += len(evs)
+	}
+	if total+int(tap.Dropped()) != 100 {
+		t.Fatalf("drained %d + dropped %d events, want 100 total", total, tap.Dropped())
+	}
+	// Feeding after Close must not panic or deliver anywhere.
+	sm.FeedBatch(tr.Records[100:])
+	if sm.Fed() != 200 {
+		t.Fatalf("fed = %d, want 200", sm.Fed())
+	}
+}
+
+// TestTapConcurrentFeedSingleShard hammers the Shards=1 streaming path from
+// many goroutines with a tap attached: delivered sequence numbers must stay
+// strictly increasing and unique on the channel (the single-publisher FIFO
+// invariant), and consumed + dropped must account for every record.
+func TestTapConcurrentFeedSingleShard(t *testing.T) {
+	tr := shardTrace(t, 2000)
+	cfg := DefaultConfig()
+	cfg.Shards = 1
+	sm := NewSharded(cfg)
+	tap := sm.Tap(64)
+
+	var seqs []uint64
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range tap.Chan(0) {
+			seqs = append(seqs, ev.Seq)
+		}
+	}()
+
+	const feeders = 4
+	var wg sync.WaitGroup
+	for g := 0; g < feeders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(tr.Records); i += feeders {
+				sm.Feed(&tr.Records[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	tap.Close()
+	<-drained
+
+	if uint64(len(seqs))+tap.Dropped() != uint64(len(tr.Records)) {
+		t.Fatalf("consumed %d + dropped %d != %d records", len(seqs), tap.Dropped(), len(tr.Records))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("sequence not strictly increasing at %d: %d after %d", i, seqs[i], seqs[i-1])
+		}
+	}
+}
+
+// TestTapConcurrentCloseUnderIngest closes a consuming tap in the middle of
+// a batch ingest; under -race this exercises the publisher/Close handshake.
+func TestTapConcurrentCloseUnderIngest(t *testing.T) {
+	tr := shardTrace(t, 5000)
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	sm := NewSharded(cfg)
+	tap := sm.Tap(8)
+	var wg sync.WaitGroup
+	seen := make(chan int, tap.Shards())
+	for i := 0; i < tap.Shards(); i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			n := 0
+			for range tap.Chan(shard) {
+				n++
+				if n == 10 && shard == 0 {
+					tap.Close() // mid-stream shutdown from a consumer
+				}
+			}
+			seen <- n
+		}(i)
+	}
+	sm.FeedTraceParallel(tr)
+	wg.Wait()
+	close(seen)
+	total := 0
+	for n := range seen {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("consumers saw no events before shutdown")
+	}
+	// A second tap on the same model still works after the first closed.
+	tap2 := sm.Tap(0)
+	r := tr.Records[0]
+	sm.Feed(&r)
+	tap2.Close()
+	if n := len(collectTap(tap2)[shardOf(r.File, 4)]); n != 1 {
+		t.Fatalf("fresh tap delivered %d events, want 1", n)
+	}
+}

@@ -9,6 +9,7 @@ package exp
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"farmer/internal/core"
 	"farmer/internal/graph"
@@ -34,6 +35,14 @@ type Options struct {
 	// Sharded and single-lock mining produce identical results (see
 	// core.ShardedModel); the knob exists to exercise and measure both.
 	Shards int
+	// AsyncPrefetch moves mining and prediction off every simulated MDS
+	// demand path onto the shard-worker station (hust.MDSConfig), so the
+	// paper experiments can be regenerated under the async pipeline.
+	AsyncPrefetch bool
+	// MineTime models the per-record mining CPU cost inside each MDS
+	// (0 keeps the legacy free-mining calibration). Sync runs pay it on
+	// the demand path; async runs on the mining station.
+	MineTime time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -41,10 +50,26 @@ func (o Options) withDefaults() Options {
 		o.Records = 30000
 	}
 	if o.Replay.MDS.CacheCapacity == 0 {
+		// A partially built Replay is replaced wholesale, but the async
+		// pipeline knobs ride through so the layering promise below holds.
+		mds := o.Replay.MDS
 		o.Replay = hust.DefaultReplayConfig()
+		o.Replay.MDS.MineTime = mds.MineTime
+		o.Replay.MDS.AsyncPrefetch = mds.AsyncPrefetch
+		o.Replay.MDS.PrefetchQueue = mds.PrefetchQueue
+		o.Replay.MDS.MinerWorkers = mds.MinerWorkers
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	// Both knobs only layer on top of an explicitly configured Replay: a
+	// caller-supplied Replay.MDS.AsyncPrefetch/MineTime must survive zero
+	// Options values.
+	if o.AsyncPrefetch {
+		o.Replay.MDS.AsyncPrefetch = true
+	}
+	if o.MineTime > 0 {
+		o.Replay.MDS.MineTime = o.MineTime
 	}
 	return o
 }

@@ -39,6 +39,25 @@ type MDSConfig struct {
 	// access as a single store I/O (grouped layout, §4.2); otherwise each
 	// prefetch is its own store read.
 	PrefetchBatch bool
+	// MineTime is the modeled CPU cost of running the four mining stages for
+	// one record. With AsyncPrefetch false it inflates every demand request's
+	// service time — mining sits on the demand path, the configuration the
+	// paper prototypes. 0 models free mining (the pre-async legacy behavior).
+	MineTime time.Duration
+	// AsyncPrefetch decouples mining and prediction from the demand path:
+	// demand service consults only the metadata cache and the miner's
+	// already-materialized Correlator-List snapshot, while mining and
+	// prediction run on a separate mining station modeling the shard
+	// workers (see core.ShardedModel.Tap and internal/prefetch for the
+	// real concurrent pipeline this virtual-time model mirrors).
+	AsyncPrefetch bool
+	// MinerWorkers sizes the async mining station; 0 matches Workers.
+	MinerWorkers int
+	// PrefetchQueue bounds the backlog of queued prefetch requests: beyond
+	// it the oldest queued prefetch is dropped (and counted), so a mining
+	// burst degrades prefetch coverage instead of demand latency.
+	// 0 = unbounded (legacy).
+	PrefetchQueue int
 }
 
 // DefaultMDSConfig returns calibrated service times: a cache hit costs
@@ -65,6 +84,12 @@ func (c MDSConfig) Validate() error {
 		return fmt.Errorf("hust: non-positive service times")
 	case c.PrefetchK < 0:
 		return fmt.Errorf("hust: negative prefetch degree")
+	case c.MineTime < 0:
+		return fmt.Errorf("hust: negative mine time")
+	case c.MinerWorkers < 0:
+		return fmt.Errorf("hust: negative miner workers")
+	case c.PrefetchQueue < 0:
+		return fmt.Errorf("hust: negative prefetch queue bound")
 	}
 	return nil
 }
@@ -74,6 +99,7 @@ type MDS struct {
 	cfg   MDSConfig
 	eng   *sim.Engine
 	srv   *sim.Server
+	miner *sim.Server // async mining station (nil in sync mode)
 	cache *cache.LRU
 	store *kvstore.Store
 	pred  predictors.Predictor
@@ -97,14 +123,25 @@ func NewMDS(eng *sim.Engine, cfg MDSConfig, store *kvstore.Store, pred predictor
 			return nil, err
 		}
 	}
-	return &MDS{
+	m := &MDS{
 		cfg:   cfg,
 		eng:   eng,
 		srv:   sim.NewServer(eng, cfg.Workers),
 		cache: cache.NewLRU(cfg.CacheCapacity),
 		store: store,
 		pred:  pred,
-	}, nil
+	}
+	if cfg.PrefetchQueue > 0 {
+		m.srv.LimitQueue(sim.PriorityPrefetch, cfg.PrefetchQueue)
+	}
+	if cfg.AsyncPrefetch {
+		mw := cfg.MinerWorkers
+		if mw <= 0 {
+			mw = cfg.Workers
+		}
+		m.miner = sim.NewServer(eng, mw)
+	}
+	return m, nil
 }
 
 // NewFARMERMDS builds an MDS whose prefetcher is a FARMER miner. When
@@ -115,9 +152,20 @@ func NewMDS(eng *sim.Engine, cfg MDSConfig, store *kvstore.Store, pred predictor
 // width is modeled configuration, not actual parallelism; sharded and
 // single-lock mining produce identical results either way (see
 // core.ShardedModel), and mc.Shards = 1 selects the single-lock miner.
+//
+// With cfg.AsyncPrefetch the demand path consults only the cache and the
+// miner's already-materialized Correlator-List snapshot; mining and
+// prediction run on the mining station, which is sized to the miner's
+// stripe count (the shard workers) unless cfg.MinerWorkers overrides it.
+// Records reach the miner in demand-arrival order either way, so the mined
+// state is bit-identical to the synchronous configuration (asserted by
+// internal/replay).
 func NewFARMERMDS(eng *sim.Engine, cfg MDSConfig, store *kvstore.Store, mc core.Config) (*MDS, error) {
 	if mc.Shards == 0 {
 		mc.Shards = cfg.Workers
+	}
+	if cfg.AsyncPrefetch && cfg.MinerWorkers == 0 {
+		cfg.MinerWorkers = mc.Shards
 	}
 	if err := mc.Validate(); err != nil {
 		return nil, err
@@ -148,6 +196,16 @@ func (m *MDS) PopulateStore(t *trace.Trace) error {
 
 // Demand submits a client metadata request for r at the current virtual
 // time. done (optional) runs at completion with the request's response time.
+//
+// In the synchronous configuration mining and prefetch issue happen on the
+// demand path (the paper's "mining and evaluating utility" hooks the request
+// stream) and MineTime inflates the demand service time. With AsyncPrefetch
+// the demand request carries only the cache/store cost, and the record is
+// handed to the mining station: its completion callback — the virtual-time
+// mirror of a prefetch.Pipeline tap event — feeds the miner and issues the
+// prefetches. The station is FIFO with uniform service times, so records are
+// mined in demand-arrival order and the mined state stays bit-identical to
+// the synchronous path; only prefetch timing (coverage) differs.
 func (m *MDS) Demand(r *trace.Record, done func(resp time.Duration)) {
 	hit := m.cache.Access(r.File)
 	service := m.cfg.StoreReadTime
@@ -161,6 +219,17 @@ func (m *MDS) Demand(r *trace.Record, done func(resp time.Duration)) {
 			_ = m.store.Put(metaKey(r.File), make([]byte, 64))
 		}
 	}
+	// In sync mode with priced mining, the service thread mines as part of
+	// the request, so its predictions only exist once the request completes
+	// (wait + service, mining included) — prefetches issue from the Done
+	// callback. Issuing any earlier would hand the sync pipeline prefetch
+	// timing its own modeled mining cannot achieve.
+	issueOnDone := false
+	if !m.cfg.AsyncPrefetch {
+		service += m.cfg.MineTime
+		issueOnDone = m.cfg.MineTime > 0 && m.cfg.PrefetchK > 0
+	}
+	rec := r
 	m.srv.Submit(sim.PriorityDemand, &sim.Request{
 		Service: service,
 		Done: func(wait, total time.Duration) {
@@ -168,13 +237,28 @@ func (m *MDS) Demand(r *trace.Record, done func(resp time.Duration)) {
 			if done != nil {
 				done(total)
 			}
+			if issueOnDone {
+				m.issuePrefetches(rec.File)
+			}
 		},
 	})
 
-	// Mining + prefetch issue happen on the demand path (the paper's
-	// "mining and evaluating utility" hooks the request stream).
+	if m.cfg.AsyncPrefetch {
+		m.miner.Submit(sim.PriorityDemand, &sim.Request{
+			Service: m.cfg.MineTime,
+			Done: func(wait, total time.Duration) {
+				m.pred.Record(rec)
+				if m.cfg.PrefetchK > 0 {
+					m.issuePrefetches(rec.File)
+				}
+			},
+		})
+		return
+	}
+	// Record stays at arrival: mined-state order is the demand-arrival
+	// order in both sync and async modes (the bit-identical invariant).
 	m.pred.Record(r)
-	if m.cfg.PrefetchK > 0 {
+	if m.cfg.PrefetchK > 0 && !issueOnDone {
 		m.issuePrefetches(r.File)
 	}
 }
@@ -184,28 +268,40 @@ func (m *MDS) issuePrefetches(f trace.FileID) {
 	if len(cands) == 0 {
 		return
 	}
-	batched := false
+	// Batch pricing is decided at service entry, not submission: whichever
+	// member of the batch actually reaches service first pays the store
+	// I/O, and later members ride it at CPU cost. Deciding at submit time
+	// would let a bounded queue drop the priced leader while its cheap
+	// followers survive and complete with the store read never paid.
+	var batchPaid *bool
+	if m.cfg.PrefetchBatch {
+		batchPaid = new(bool)
+	}
 	for _, c := range cands {
 		if m.cache.Contains(c) {
 			continue
 		}
-		service := m.cfg.StoreReadTime
+		var serviceFn func() time.Duration
 		if m.cfg.PrefetchBatch {
-			if batched {
-				// Subsequent members of the batch ride the same I/O: only
-				// CPU cost.
-				service = m.cfg.CacheHitTime
+			serviceFn = func() time.Duration {
+				if *batchPaid {
+					return m.cfg.CacheHitTime
+				}
+				*batchPaid = true
+				return m.cfg.StoreReadTime
 			}
-			batched = true
 		}
 		m.prefetchSent++
-		m.storeReads++
 		target := c
 		m.srv.Submit(sim.PriorityPrefetch, &sim.Request{
-			Service: service,
+			Service:   m.cfg.StoreReadTime,
+			ServiceFn: serviceFn,
 			Done: func(wait, total time.Duration) {
 				// Metadata arrives: install into the cache unless the
-				// demand path beat us to it.
+				// demand path beat us to it. The store read is accounted
+				// here, at service time, so prefetches dropped from a
+				// bounded queue cost no I/O.
+				m.storeReads++
 				m.store.Get(metaKey(target))
 				m.cache.Prefetch(target)
 			},
@@ -221,24 +317,43 @@ type Stats struct {
 	MaxResponse    time.Duration
 	Demand         uint64
 	PrefetchIssued uint64
-	StoreReads     uint64
-	AvgDemandWait  time.Duration
-	Utilization    float64
+	// PrefetchDone counts prefetches that finished service;
+	// PrefetchDropped counts those evicted from a bounded prefetch queue
+	// before service. After a drained run Issued = Done + Dropped.
+	PrefetchDone    uint64
+	PrefetchDropped uint64
+	StoreReads      uint64
+	AvgDemandWait   time.Duration
+	Utilization     float64
+	// MineAvgWait is the mining station's mean queueing delay — the mining
+	// backlog an async run absorbed off the demand path (0 in sync mode).
+	MineAvgWait time.Duration
+	// MineUtilization is the mining station's busy fraction. Sync runs fold
+	// mining into the MDS Utilization; async runs report it here instead,
+	// so cross-mode comparisons must read both fields.
+	MineUtilization float64
 }
 
 // Finish folds residual prefetch waste and returns the stats.
 func (m *MDS) Finish() Stats {
-	return Stats{
-		Cache:          m.cache.Finish(),
-		AvgResponse:    m.resp.Mean(),
-		P95Response:    m.resp.Quantile(0.95),
-		MaxResponse:    m.resp.Max(),
-		Demand:         m.resp.Count(),
-		PrefetchIssued: m.prefetchSent,
-		StoreReads:     m.storeReads,
-		AvgDemandWait:  m.srv.AvgWait(sim.PriorityDemand),
-		Utilization:    m.srv.Utilization(),
+	s := Stats{
+		Cache:           m.cache.Finish(),
+		AvgResponse:     m.resp.Mean(),
+		P95Response:     m.resp.Quantile(0.95),
+		MaxResponse:     m.resp.Max(),
+		Demand:          m.resp.Count(),
+		PrefetchIssued:  m.prefetchSent,
+		PrefetchDone:    m.srv.Completed(sim.PriorityPrefetch),
+		PrefetchDropped: m.srv.Dropped(sim.PriorityPrefetch),
+		StoreReads:      m.storeReads,
+		AvgDemandWait:   m.srv.AvgWait(sim.PriorityDemand),
+		Utilization:     m.srv.Utilization(),
 	}
+	if m.miner != nil {
+		s.MineAvgWait = m.miner.AvgWait(sim.PriorityDemand)
+		s.MineUtilization = m.miner.Utilization()
+	}
+	return s
 }
 
 // Cache exposes the metadata cache (tests).

@@ -8,8 +8,24 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter safe for concurrent
+// use — the accounting primitive shared by pipeline stages that run on
+// different goroutines (e.g. dropped-prefetch counts between the async
+// prediction workers and the stats reader). The zero value is ready to use.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add folds delta occurrences in.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Load reports the current count.
+func (c *Counter) Load() uint64 { return c.n.Load() }
 
 // Welford accumulates mean and variance in one pass.
 type Welford struct {

@@ -1,0 +1,184 @@
+// Package replay is the deterministic trace-replay harness behind the async
+// prefetch pipeline's correctness claims. It runs the same trace through the
+// synchronous and asynchronous pipelines under the virtual-time engine and
+// exposes what the tests assert:
+//
+//   - a Fingerprint of the complete mined state (every Correlator List,
+//     degrees compared at full float64 precision), so "bit-identical mined
+//     state" is one uint64 comparison;
+//   - a Comparison bundling the no-prefetch baseline with the sync and
+//     async FARMER replays of one trace, so demand-latency regressions are
+//     directly visible;
+//   - RunPipeline, which drives the real goroutine-based prefetch.Pipeline
+//     (tap consumers, bounded queue, submit loop) over the same trace so
+//     the concurrent path is exercised under -race and cross-checked
+//     against the sequential mine.
+//
+// Everything here is virtual-time or barrier-synchronized, so results are
+// reproducible run-to-run.
+package replay
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"farmer/internal/core"
+	"farmer/internal/hust"
+	"farmer/internal/predictors"
+	"farmer/internal/prefetch"
+	"farmer/internal/sim"
+	"farmer/internal/trace"
+)
+
+// lister is the read surface a fingerprint needs; core.Model and
+// core.ShardedModel both satisfy it.
+type lister interface {
+	CorrelatorList(f trace.FileID) []core.Correlator
+}
+
+// Fingerprint hashes the complete mined correlation state over the dense
+// FileID space [0, fileCount): list lengths, successor ids and the exact
+// float64 bits of every degree component. Two miners agree on the
+// fingerprint iff their mined state is bit-identical.
+func Fingerprint(m lister, fileCount int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wr := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for f := 0; f < fileCount; f++ {
+		list := m.CorrelatorList(trace.FileID(f))
+		if len(list) == 0 {
+			continue
+		}
+		wr(uint64(f))
+		wr(uint64(len(list)))
+		for _, c := range list {
+			wr(uint64(c.File))
+			wr(math.Float64bits(c.Degree))
+			wr(math.Float64bits(c.Sim))
+			wr(math.Float64bits(c.Freq))
+		}
+	}
+	return h.Sum64()
+}
+
+// MineSequential feeds the trace through the paper-exact single-lock Model
+// and fingerprints the result — the reference every other path must match.
+func MineSequential(tr *trace.Trace, mc core.Config) uint64 {
+	mc.Shards = 0
+	m := core.New(mc)
+	m.FeedTrace(tr)
+	return Fingerprint(m, tr.FileCount)
+}
+
+// Outcome is one FARMER replay: the simulation result plus the miner's
+// mined-state fingerprint.
+type Outcome struct {
+	Result      hust.Result
+	Fingerprint uint64
+}
+
+// FARMER replays tr through a FARMER MDS built from cfg/mc and fingerprints
+// the mined state afterwards.
+func FARMER(tr *trace.Trace, cfg hust.ReplayConfig, mc core.Config) (Outcome, error) {
+	var mds *hust.MDS
+	res, err := hust.Replay(tr, cfg, func(e *sim.Engine) (*hust.MDS, error) {
+		m, err := hust.NewFARMERMDS(e, cfg.MDS, nil, mc)
+		mds = m
+		return m, err
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	miner, err := minerOf(mds)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Result: res, Fingerprint: Fingerprint(miner, tr.FileCount)}, nil
+}
+
+func minerOf(m *hust.MDS) (*core.ShardedModel, error) {
+	fpa, ok := m.Predictor().(*predictors.FPA)
+	if !ok {
+		return nil, fmt.Errorf("replay: MDS predictor %q is not a FARMER FPA", m.Predictor().Name())
+	}
+	sm, ok := fpa.Miner().(*core.ShardedModel)
+	if !ok {
+		return nil, fmt.Errorf("replay: FPA does not drive a sharded miner")
+	}
+	return sm, nil
+}
+
+// Comparison bundles the three replays of one trace the async-pipeline
+// claims rest on: a no-prefetch baseline (no mining cost), the synchronous
+// FARMER pipeline (mining on the demand path), and the asynchronous one
+// (mining on the shard-worker station).
+type Comparison struct {
+	Baseline hust.Result
+	Sync     Outcome
+	Async    Outcome
+}
+
+// Compare replays tr three ways under identical arrival processes. cfg.MDS
+// carries the mining-cost (MineTime) and backpressure (PrefetchQueue)
+// knobs; AsyncPrefetch is overridden per leg. The baseline leg clears
+// MineTime and disables prefetching.
+func Compare(tr *trace.Trace, cfg hust.ReplayConfig, mc core.Config) (Comparison, error) {
+	var out Comparison
+
+	base := cfg
+	base.MDS.MineTime = 0
+	base.MDS.AsyncPrefetch = false
+	base.MDS.PrefetchK = 0
+	res, err := hust.Replay(tr, base, func(e *sim.Engine) (*hust.MDS, error) {
+		return hust.NewMDS(e, base.MDS, nil, predictors.NewNone())
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Baseline = res
+
+	sync := cfg
+	sync.MDS.AsyncPrefetch = false
+	if out.Sync, err = FARMER(tr, sync, mc); err != nil {
+		return out, err
+	}
+
+	async := cfg
+	async.MDS.AsyncPrefetch = true
+	if out.Async, err = FARMER(tr, async, mc); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// PipelineOutcome is one RunPipeline execution: the mined-state fingerprint
+// after the concurrent ingest and the pipeline's loss accounting.
+type PipelineOutcome struct {
+	Fingerprint uint64
+	Stats       prefetch.Stats
+}
+
+// RunPipeline ingests the trace into a fresh sharded miner in batches while
+// a real prefetch.Pipeline (goroutine tap consumers, bounded queue, submit
+// loop) runs against it, delivering candidates to sink (discarded when
+// nil). It returns after the pipeline has fully drained, so the fingerprint
+// and stats are stable.
+func RunPipeline(tr *trace.Trace, mc core.Config, pcfg prefetch.Config, sink prefetch.Sink) PipelineOutcome {
+	sm := core.NewSharded(mc)
+	p := prefetch.Start(sm, sink, pcfg)
+	const chunk = 512
+	for lo := 0; lo < len(tr.Records); lo += chunk {
+		hi := lo + chunk
+		if hi > len(tr.Records) {
+			hi = len(tr.Records)
+		}
+		sm.FeedBatch(tr.Records[lo:hi])
+	}
+	p.Stop()
+	return PipelineOutcome{Fingerprint: Fingerprint(sm, tr.FileCount), Stats: p.Stats()}
+}

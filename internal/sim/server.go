@@ -14,7 +14,13 @@ const (
 // Request is one unit of work submitted to a Server.
 type Request struct {
 	Service time.Duration // time the server is busy with this request
-	Done    func(wait, total time.Duration)
+	// ServiceFn, when non-nil, is consulted at service entry and overrides
+	// Service — for requests whose cost depends on state at dispatch time,
+	// e.g. a batched prefetch whose store I/O is paid by whichever batch
+	// member actually reaches service first (members before it may have
+	// been dropped from a bounded queue).
+	ServiceFn func() time.Duration
+	Done      func(wait, total time.Duration)
 
 	arrive time.Duration
 }
@@ -26,12 +32,15 @@ type Server struct {
 	workers int
 	busy    int
 	queues  [numPriorities][]*Request
+	limits  [numPriorities]int // 0 = unbounded; else drop-oldest beyond
 
 	// Stats.
-	served   [numPriorities]uint64
-	waitSum  [numPriorities]time.Duration
-	busySum  time.Duration
-	maxDepth int
+	served    [numPriorities]uint64 // entered service (dispatched)
+	completed [numPriorities]uint64 // finished service
+	dropped   [numPriorities]uint64 // evicted from a bounded queue
+	waitSum   [numPriorities]time.Duration
+	busySum   time.Duration
+	maxDepth  int
 }
 
 // NewServer creates a server with the given worker count attached to eng.
@@ -43,17 +52,38 @@ func NewServer(eng *Engine, workers int) *Server {
 }
 
 // Submit enqueues a request at the given priority. Done (if non-nil) runs at
-// completion with the queueing delay and the total sojourn time.
+// completion with the queueing delay and the total sojourn time. When the
+// priority's queue is bounded (LimitQueue) and full, the OLDEST queued
+// request of that priority is dropped — its Done never runs — so a burst
+// sheds the stalest work instead of growing the backlog without bound.
 func (s *Server) Submit(pri int, r *Request) {
 	if pri < 0 || pri >= numPriorities {
 		pri = numPriorities - 1
 	}
 	r.arrive = s.eng.Now()
 	s.queues[pri] = append(s.queues[pri], r)
+	if lim := s.limits[pri]; lim > 0 {
+		for len(s.queues[pri]) > lim {
+			q := s.queues[pri]
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			s.queues[pri] = q[:len(q)-1]
+			s.dropped[pri]++
+		}
+	}
 	if d := s.depth(); d > s.maxDepth {
 		s.maxDepth = d
 	}
 	s.dispatch()
+}
+
+// LimitQueue bounds the given priority's queue to max pending requests
+// (0 restores unbounded). Requests already in service are unaffected.
+func (s *Server) LimitQueue(pri, max int) {
+	if pri < 0 || pri >= numPriorities || max < 0 {
+		return
+	}
+	s.limits[pri] = max
 }
 
 func (s *Server) depth() int {
@@ -85,14 +115,18 @@ func (s *Server) dispatch() {
 		wait := s.eng.Now() - r.arrive
 		s.waitSum[pri] += wait
 		s.served[pri]++
-		s.busySum += r.Service
+		service := r.Service
+		if r.ServiceFn != nil {
+			service = r.ServiceFn()
+		}
+		s.busySum += service
 		req, p := r, pri
-		s.eng.After(r.Service, func() {
+		s.eng.After(service, func() {
 			s.busy--
+			s.completed[p]++
 			if req.Done != nil {
 				req.Done(wait, s.eng.Now()-req.arrive)
 			}
-			_ = p
 			s.dispatch()
 		})
 	}
@@ -101,6 +135,15 @@ func (s *Server) dispatch() {
 // Served reports how many requests of the given priority completed service
 // entry (dispatched).
 func (s *Server) Served(pri int) uint64 { return s.served[pri] }
+
+// Completed reports how many requests of the given priority finished
+// service. It trails Served while requests are in flight and matches it
+// once the engine drains.
+func (s *Server) Completed(pri int) uint64 { return s.completed[pri] }
+
+// Dropped reports how many requests of the given priority were evicted from
+// a bounded queue before entering service.
+func (s *Server) Dropped(pri int) uint64 { return s.dropped[pri] }
 
 // AvgWait reports the mean queueing delay of the given priority class.
 func (s *Server) AvgWait(pri int) time.Duration {

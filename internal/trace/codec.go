@@ -20,6 +20,13 @@ import (
 //	#farmer-trace v1 name=<name> files=<n> paths=<0|1>
 const textMagic = "#farmer-trace v1"
 
+// maxFileCount bounds the decoded FileCount header field. Consumers size
+// loops and tables by it (store population, fingerprints, ground-truth
+// maps), so a crafted header must not be able to demand billions of
+// iterations before a single record has parsed. 1<<28 files is far beyond
+// any trace this in-memory model can hold.
+const maxFileCount = 1 << 28
+
 // WriteText encodes the trace in the line-oriented text format.
 func WriteText(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
@@ -64,6 +71,9 @@ func ReadText(r io.Reader) (*Trace, error) {
 			n, err := strconv.Atoi(v)
 			if err != nil {
 				return nil, fmt.Errorf("trace: bad files count: %w", err)
+			}
+			if n < 0 || n > maxFileCount {
+				return nil, fmt.Errorf("trace: unreasonable file count %d", n)
 			}
 			t.FileCount = n
 		case "paths":
@@ -261,6 +271,9 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if fc > maxFileCount {
+		return nil, fmt.Errorf("trace: unreasonable file count %d", fc)
+	}
 	t.FileCount = int(fc)
 	hp, err := br.ReadByte()
 	if err != nil {
@@ -275,7 +288,16 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: unreasonable record count %d", n)
 	}
 	if n > 0 {
-		t.Records = make([]Record, 0, n)
+		// Cap the up-front allocation: a hostile or corrupt header must not
+		// be able to demand a huge buffer before a single record has parsed
+		// (found by FuzzCodec — a flipped count field cost ~90MB per decode
+		// attempt). Larger traces grow via amortized append as records
+		// actually arrive.
+		pre := n
+		if pre > 4096 {
+			pre = 4096
+		}
+		t.Records = make([]Record, 0, pre)
 	}
 	for i := uint64(0); i < n; i++ {
 		var rec Record

@@ -1,0 +1,156 @@
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+)
+
+// maxBinString mirrors the binary codec's per-string sanity bound: traces
+// holding longer names/paths (only reachable via hand-built or text input)
+// are not binary-representable.
+const maxBinString = 1 << 20
+
+func binarySafe(t *trace.Trace) bool {
+	if len(t.Name) > maxBinString {
+		return false
+	}
+	for i := range t.Records {
+		if len(t.Records[i].Path) > maxBinString {
+			return false
+		}
+	}
+	return true
+}
+
+// textSafe reports whether the trace survives the line-oriented text
+// framing: whitespace-free name, named ops, and paths without line breaks.
+func textSafe(t *trace.Trace) bool {
+	if strings.ContainsAny(t.Name, " \t\n\r\v\f") {
+		return false
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		if _, err := trace.ParseOp(r.Op.String()); err != nil {
+			return false
+		}
+		if strings.ContainsAny(r.Path, "\n\r") {
+			return false
+		}
+	}
+	return true
+}
+
+func roundTripBinary(t *testing.T, tr *trace.Trace) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary on decoded trace: %v", err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	got, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary on re-encoded trace: %v", err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("binary round trip diverged:\n first %+v\nsecond %+v", tr, got)
+	}
+	var again bytes.Buffer
+	if err := trace.WriteBinary(&again, got); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Fatal("binary encoding is not deterministic")
+	}
+}
+
+func roundTripText(t *testing.T, tr *trace.Trace) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteText(&buf, tr); err != nil {
+		t.Fatalf("WriteText on decoded trace: %v", err)
+	}
+	got, err := trace.ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText on re-encoded trace: %v", err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("text round trip diverged:\n first %+v\nsecond %+v", tr, got)
+	}
+}
+
+// FuzzCodec feeds arbitrary bytes to both trace codecs. Whatever either
+// decoder accepts must survive a write/read round trip bit-identically (and
+// cross over to the other codec when the trace is representable there).
+// The seed corpus is real generator output from all four paper workload
+// profiles, in both encodings.
+func FuzzCodec(f *testing.F) {
+	// Small per-profile seeds keep mutation throughput high; coverage of the
+	// record-level encoding does not need long traces.
+	for _, p := range tracegen.Profiles(60) {
+		tr, err := p.Generate()
+		if err != nil {
+			f.Fatal(err)
+		}
+		var bin, txt bytes.Buffer
+		if err := trace.WriteBinary(&bin, tr); err != nil {
+			f.Fatal(err)
+		}
+		if err := trace.WriteText(&txt, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bin.Bytes())
+		f.Add(txt.Bytes())
+	}
+	f.Add([]byte("#farmer-trace v1 name=x files=1 paths=0\n0 0 open 0 1 2 3 0 64 -1\n"))
+	f.Add([]byte{0x4D, 0x52, 0x41, 0x46}) // binary magic, truncated
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if tr, err := trace.ReadBinary(bytes.NewReader(data)); err == nil {
+			roundTripBinary(t, tr)
+			if textSafe(tr) {
+				roundTripText(t, tr)
+			}
+		}
+		if tr, err := trace.ReadText(bytes.NewReader(data)); err == nil {
+			if textSafe(tr) {
+				roundTripText(t, tr)
+			}
+			if binarySafe(tr) {
+				roundTripBinary(t, tr)
+			}
+		}
+	})
+}
+
+// TestReadBinaryRejectsHugeFileCount pins the header sanity bound: a
+// crafted file-count field must fail decode instead of driving consumers
+// (store population, fingerprints) through billions of iterations.
+func TestReadBinaryRejectsHugeFileCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, &trace.Trace{Name: ""}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Layout with an empty name: magic(4) version(4) nameLen(4) fileCount(4).
+	for i := 12; i < 16; i++ {
+		data[i] = 0xFF
+	}
+	if _, err := trace.ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("ReadBinary accepted FileCount 0xFFFFFFFF")
+	}
+}
+
+func TestReadTextRejectsHugeFileCount(t *testing.T) {
+	for _, files := range []string{"4294967295", "-1", "99999999999999"} {
+		in := "#farmer-trace v1 name=x files=" + files + " paths=0\n"
+		if _, err := trace.ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("ReadText accepted files=%s", files)
+		}
+	}
+}
