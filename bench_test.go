@@ -190,3 +190,15 @@ func BenchmarkMiningQuality(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkClusterGlobalVsLocal regenerates the multi-MDS cluster
+// comparison: per-partition miners vs the cluster-level global miner under
+// hash and group placement (`farmerctl cluster` at full scale).
+func BenchmarkClusterGlobalVsLocal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := exp.ClusterTable(exp.ClusterGlobalVsLocal(benchOpt()))
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}

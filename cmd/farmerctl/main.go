@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	farmerctl [-records N] [-parallel N] [-shards N] <experiment>...
+//	farmerctl [-records N] [-parallel N] [-shards N] [-servers N] <experiment>...
 //
 // Experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 table3 table4 ablation
-// all. fig3 accepts -trace (default runs all four traces).
+// quality asynclat cluster all. fig3 accepts -trace (default runs all four
+// traces).
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 	records := flag.Int("records", 30000, "records per generated trace")
 	parallelism := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "FARMER miner shards per MDS (0 = match MDS workers, 1 = single-lock)")
+	servers := flag.Int("servers", 0, "metadata servers in the cluster experiment (0 = default 4)")
 	asyncPrefetch := flag.Bool("async-prefetch", false, "run every simulated MDS with mining/prediction off the demand path")
 	mineTime := flag.Duration("minetime", 0, "modeled per-record mining CPU cost inside each MDS (asynclat defaults to 1ms)")
 	traceName := flag.String("trace", "", "trace for fig3/ablation (LLNL, INS, RES, HP; empty = all/HP)")
@@ -39,17 +41,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "farmerctl: -minetime %v is negative\n", *mineTime)
 		os.Exit(2)
 	}
+	if *servers < 0 {
+		fmt.Fprintf(os.Stderr, "farmerctl: -servers %d is negative\n", *servers)
+		os.Exit(2)
+	}
 	opt := exp.Options{
-		Records:       *records,
-		Parallelism:   *parallelism,
-		Shards:        *shards,
-		AsyncPrefetch: *asyncPrefetch,
-		MineTime:      *mineTime,
+		Records:        *records,
+		Parallelism:    *parallelism,
+		Shards:         *shards,
+		AsyncPrefetch:  *asyncPrefetch,
+		MineTime:       *mineTime,
+		ClusterServers: *servers,
 	}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "ablation", "quality", "asynclat"}
+		args = []string{"fig1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "ablation", "quality", "asynclat", "cluster"}
 	}
 
 	var comparison []exp.PolicyRun
@@ -101,6 +108,9 @@ func main() {
 		case "asynclat":
 			section("Sync vs async pipeline — demand latency under mining-heavy load")
 			fmt.Println(exp.AsyncLatency(exp.SyncVsAsync(opt)))
+		case "cluster":
+			section("Multi-MDS cluster — global vs per-partition mining")
+			fmt.Println(exp.ClusterTable(exp.ClusterGlobalVsLocal(opt)))
 		case "ablation":
 			tr := *traceName
 			if tr == "" {
@@ -137,6 +147,7 @@ experiments:
   ablation filtered vs unfiltered footprint (paper §3.3)
   quality  mining precision/recall/F1 vs ground truth (core claim)
   asynclat sync vs async prefetch pipeline demand latency (mining-heavy)
+  cluster  multi-MDS cluster: global vs per-partition mining (-servers)
   all      everything above
 
 flags:

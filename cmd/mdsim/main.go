@@ -6,6 +6,7 @@
 //
 //	mdsim -profile HP -records 50000 -policy farmer
 //	mdsim -in trace.bin -policy nexus -cache 512
+//	mdsim -servers 4 -global -partition hash -minetime 1ms
 package main
 
 import (
@@ -37,9 +38,18 @@ func main() {
 	asyncPrefetch := flag.Bool("async-prefetch", false, "mine and predict off the demand path (shard-worker station)")
 	mineTime := flag.Duration("minetime", 0, "modeled per-record mining CPU cost (sync: on the demand path)")
 	pfQueue := flag.Int("pfqueue", 0, "bound on queued prefetches, drop-oldest beyond (0 = unbounded)")
+	servers := flag.Int("servers", 1, "metadata servers (>1 replays a multi-MDS cluster)")
+	global := flag.Bool("global", false, "mine the global model across the cluster (requires -servers > 1, farmer policy)")
+	partName := flag.String("partition", "hash", "cluster partitioner: hash or group")
+	netDelay := flag.Duration("netdelay", hust.DefaultGlobalConfig().NetDelay, "one-way inter-MDS event latency (global mining)")
+	mailbox := flag.Int("mailbox", 0, "per-server event mailbox bound, drop-oldest beyond (0 = default)")
 	flag.Parse()
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "mdsim: -shards %d is negative\n", *shards)
+		os.Exit(2)
+	}
+	if *servers < 1 {
+		fmt.Fprintf(os.Stderr, "mdsim: -servers %d must be >= 1\n", *servers)
 		os.Exit(2)
 	}
 
@@ -60,13 +70,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	mc := core.DefaultConfig()
+	mc.Weight = *weight
+	mc.MaxStrength = *maxStrength
+	mc.Mask = vsm.DefaultMask(t.HasPaths)
+	mc.Shards = *shards
+
+	if *servers > 1 {
+		runCluster(t, cfg, mc, *policy, *servers, *global, *partName, *netDelay, *mailbox)
+		return
+	}
+	if *global {
+		fmt.Fprintln(os.Stderr, "mdsim: -global requires -servers > 1")
+		os.Exit(2)
+	}
+
 	factory := func(e *sim.Engine) (*hust.MDS, error) {
 		if strings.EqualFold(*policy, "farmer") {
-			mc := core.DefaultConfig()
-			mc.Weight = *weight
-			mc.MaxStrength = *maxStrength
-			mc.Mask = vsm.DefaultMask(t.HasPaths)
-			mc.Shards = *shards
 			return hust.NewFARMERMDS(e, cfg.MDS, nil, mc)
 		}
 		p, err := buildPredictor(*policy)
@@ -95,6 +115,71 @@ func main() {
 		fmt.Printf("  miner utilisation  %.3f (excluded from MDS utilisation)\n", res.Stats.MineUtilization)
 	}
 	fmt.Printf("  client avg (RTT)   %v\n", res.ClientAvg)
+}
+
+// runCluster replays the trace through a multi-MDS cluster — per-partition
+// miners by default, the cluster-level global miner with -global — and
+// prints the aggregate stats.
+func runCluster(t *trace.Trace, cfg hust.ReplayConfig, mc core.Config,
+	policy string, servers int, global bool, partName string, netDelay time.Duration, mailbox int) {
+	var part hust.Partitioner
+	switch strings.ToLower(partName) {
+	case "hash":
+		part = hust.HashPartitioner
+	case "group":
+		part = hust.GroupPartitioner
+	default:
+		fmt.Fprintf(os.Stderr, "mdsim: unknown partitioner %q (hash or group)\n", partName)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var cs hust.ClusterStats
+	var err error
+	switch {
+	case global:
+		if !strings.EqualFold(policy, "farmer") {
+			err = fmt.Errorf("global mining requires -policy farmer, got %q", policy)
+			break
+		}
+		gcfg := hust.DefaultGlobalConfig()
+		gcfg.NetDelay = netDelay
+		gcfg.MailboxCap = mailbox
+		cs, _, err = hust.ReplayGlobalCluster(t, cfg, servers, part, mc, gcfg)
+	default:
+		cs, err = hust.ReplayCluster(t, cfg, servers, part, func(i int, e *sim.Engine) (*hust.MDS, error) {
+			if strings.EqualFold(policy, "farmer") {
+				return hust.NewFARMERMDS(e, cfg.MDS, nil, mc)
+			}
+			p, perr := buildPredictor(policy)
+			if perr != nil {
+				return nil, perr
+			}
+			return hust.NewMDS(e, cfg.MDS, nil, p)
+		})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	mode := "per-partition"
+	if global {
+		mode = "global"
+	}
+	fmt.Printf("trace=%s servers=%d partition=%s mining=%s records=%d wall=%v\n",
+		t.Name, servers, strings.ToLower(partName), mode, cs.Demand, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  hit ratio          %.4f\n", cs.HitRatio)
+	fmt.Printf("  avg response       %v\n", cs.AvgResponse)
+	fmt.Printf("  p95 response       %v\n", cs.P95Response)
+	fmt.Printf("  avg demand wait    %v\n", cs.AvgDemandWait)
+	fmt.Printf("  load imbalance     %.3f\n", cs.Imbalance)
+	if g := cs.Global; g != nil {
+		fmt.Printf("  mined records      %d (cluster dispatcher)\n", g.Fed)
+		fmt.Printf("  mining events      %d (%.1f%% cross-MDS)\n", g.Events, 100*g.CrossRatio)
+		fmt.Printf("  cross prefetches   %d (routed to the successor's server)\n", g.CrossPrefetches)
+		fmt.Printf("  mailbox dropped    %d\n", g.MailboxDropped)
+	}
 }
 
 func load(in, profile string, records int) (*trace.Trace, error) {

@@ -27,6 +27,8 @@ package farmer
 import (
 	"farmer/internal/core"
 	"farmer/internal/graph"
+	"farmer/internal/kvstore"
+	"farmer/internal/partition"
 	"farmer/internal/prefetch"
 	"farmer/internal/trace"
 	"farmer/internal/tracegen"
@@ -94,6 +96,50 @@ type (
 // to drain and detach it.
 func StartPrefetcher(m *ShardedModel, sink PrefetchSink, cfg PrefetchConfig) *Prefetcher {
 	return prefetch.Start(m, sink, cfg)
+}
+
+// Partition layer, re-exported. A Partitioner maps files to the owners of
+// their mined state; the same function can route demand requests in a
+// multi-server deployment, so each server both serves and mines exactly its
+// partition of the global model.
+type (
+	// Partitioner maps a file to one of n partition owners.
+	Partitioner = partition.Partitioner
+)
+
+// Stock partitioners.
+var (
+	// StripePartitioner is ShardedModel's default FileID striping
+	// (Fibonacci hashing on the upper half-word).
+	StripePartitioner Partitioner = partition.Stripe
+	// HashPartitioner spreads files uniformly across partitions — the
+	// pessimistic placement for correlation locality.
+	HashPartitioner Partitioner = partition.Hash
+	// GroupPartitioner co-locates runs of adjacent file ids, approximating
+	// correlation-aware placement (paper §4.2 grouping).
+	GroupPartitioner Partitioner = partition.Group
+)
+
+// Store is the Berkeley-DB-style persistent ordered key-value store backing
+// model persistence (Model.SaveTo/LoadFrom, ShardedModel.SaveMerged/
+// LoadMerged): an in-memory B-tree fronted by a CRC-framed write-ahead log.
+type Store = kvstore.Store
+
+// OpenStore creates or recovers a store whose write-ahead log lives at
+// path; an empty path yields a volatile in-memory store.
+func OpenStore(path string) (*Store, error) { return kvstore.Open(path) }
+
+// NewClusterMiner creates the collective miner of an n-server partitioned
+// deployment: a ShardedModel whose stripes are the deployment's partitions
+// under part (nil = StripePartitioner), so server i owns exactly the mined
+// state of the files part routes to it (Shard(i)) while the ensemble still
+// mines — and predicts — the one global model. Persist the whole ensemble
+// with ShardedModel.SaveMerged and restore at a different server count or
+// partitioner with LoadMerged: the load rebalances every file onto its new
+// owner, so a cluster can be resized between runs. cfg.Shards is ignored;
+// servers wins. Panics on an invalid configuration, like New.
+func NewClusterMiner(cfg Config, servers int, part Partitioner) *ShardedModel {
+	return core.NewShardedPartitioned(cfg, servers, part)
 }
 
 // Semantic attribute machinery, re-exported.

@@ -159,3 +159,58 @@ func TestPublicAPIAsyncPrefetcher(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicAPIClusterMiner drives the partitioned deployment story through
+// the public surface alone: an N-server collective miner under a deployment
+// partitioner, merged persistence, and a resize (different server count AND
+// different partitioner) with identical predictions.
+func TestPublicAPIClusterMiner(t *testing.T) {
+	tr, err := farmer.Generate(farmer.HP(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := farmer.ConfigFor(tr)
+	cluster := farmer.NewClusterMiner(cfg, 4, farmer.HashPartitioner)
+	if cluster.Shards() != 4 {
+		t.Fatalf("servers = %d, want 4", cluster.Shards())
+	}
+	cluster.FeedTraceParallel(tr)
+
+	// Each server's partition holds exactly the files the deployment routes
+	// to it.
+	for f := 0; f < tr.FileCount; f++ {
+		id := farmer.FileID(f)
+		own := farmer.HashPartitioner(id, 4)
+		if want, got := cluster.Predict(id, 4), cluster.Shard(own).Predict(id, 4); len(want) != len(got) {
+			t.Fatalf("file %d: owner shard disagrees with ensemble", f)
+		}
+	}
+
+	st, err := farmer.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := cluster.SaveMerged(st); err != nil {
+		t.Fatal(err)
+	}
+	resized := farmer.NewClusterMiner(cfg, 7, farmer.GroupPartitioner)
+	if err := resized.LoadMerged(st); err != nil {
+		t.Fatal(err)
+	}
+	if resized.Fed() != cluster.Fed() {
+		t.Fatalf("fed %d vs %d after resize", resized.Fed(), cluster.Fed())
+	}
+	for f := 0; f < tr.FileCount; f++ {
+		id := farmer.FileID(f)
+		want, got := cluster.Predict(id, 4), resized.Predict(id, 4)
+		if len(want) != len(got) {
+			t.Fatalf("file %d: %d vs %d predictions after resize", f, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("file %d: prediction %d is %d, want %d", f, i, got[i], want[i])
+			}
+		}
+	}
+}

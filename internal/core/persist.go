@@ -46,6 +46,18 @@ func vectorKey(f trace.FileID) []byte {
 // SaveTo writes the model's mined state (Correlator Lists, semantic vectors
 // and the tunables needed to keep mining) into the store.
 func (m *Model) SaveTo(s *kvstore.Store) error {
+	if err := m.saveState(s); err != nil {
+		return err
+	}
+	m.mu.RLock()
+	fed := m.fed
+	m.mu.RUnlock()
+	return saveConfig(s, m.cfg.Weight, m.cfg.MaxStrength, fed)
+}
+
+// saveState writes the model's lists and vectors (no config record) — the
+// per-shard half of a merged ensemble save.
+func (m *Model) saveState(s *kvstore.Store) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 
@@ -81,39 +93,77 @@ func (m *Model) SaveTo(s *kvstore.Store) error {
 			return fmt.Errorf("core: saving vector %d: %w", f, err)
 		}
 	}
-	buf.Reset()
-	putF64(m.cfg.Weight)
-	putF64(m.cfg.MaxStrength)
-	binary.Write(&buf, binary.LittleEndian, m.fed)
+	return nil
+}
+
+// saveConfig writes the m/config record binding a saved state to its mining
+// parameters and ingest counter.
+func saveConfig(s *kvstore.Store, weight, maxStrength float64, fed uint64) error {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, math.Float64bits(weight))
+	binary.Write(&buf, binary.LittleEndian, math.Float64bits(maxStrength))
+	binary.Write(&buf, binary.LittleEndian, fed)
 	if err := s.Put([]byte(keyConfig), buf.Bytes()); err != nil {
 		return fmt.Errorf("core: saving config: %w", err)
 	}
 	return nil
 }
 
+// readConfig reads and decodes the m/config record.
+func readConfig(s *kvstore.Store) (weight, maxStrength float64, fed uint64, err error) {
+	raw, ok := s.Get([]byte(keyConfig))
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("core: store has no persisted model")
+	}
+	if len(raw) != 24 {
+		return 0, 0, 0, fmt.Errorf("core: corrupt persisted config (%d bytes)", len(raw))
+	}
+	weight = math.Float64frombits(binary.LittleEndian.Uint64(raw[0:8]))
+	maxStrength = math.Float64frombits(binary.LittleEndian.Uint64(raw[8:16]))
+	fed = binary.LittleEndian.Uint64(raw[16:24])
+	return weight, maxStrength, fed, nil
+}
+
 // LoadFrom restores mined state saved by SaveTo into a freshly-constructed
 // model. The model's configuration must match the persisted weight and
 // threshold (guarding against silently mixing incompatible parameters).
 func (m *Model) LoadFrom(s *kvstore.Store) error {
-	raw, ok := s.Get([]byte(keyConfig))
-	if !ok {
-		return fmt.Errorf("core: store has no persisted model")
+	weight, strength, fed, err := readConfig(s)
+	if err != nil {
+		return err
 	}
-	if len(raw) != 24 {
-		return fmt.Errorf("core: corrupt persisted config (%d bytes)", len(raw))
-	}
-	weight := math.Float64frombits(binary.LittleEndian.Uint64(raw[0:8]))
-	strength := math.Float64frombits(binary.LittleEndian.Uint64(raw[8:16]))
-	fed := binary.LittleEndian.Uint64(raw[16:24])
 	if weight != m.cfg.Weight || strength != m.cfg.MaxStrength {
 		return fmt.Errorf("core: persisted parameters (p=%v, max_strength=%v) differ from model (p=%v, max_strength=%v)",
 			weight, strength, m.cfg.Weight, m.cfg.MaxStrength)
 	}
 
+	// Decode outside the lock, install atomically: a concurrent reader sees
+	// either the pre-load or the fully loaded model, never a half-restored
+	// one.
+	lists := make(map[trace.FileID][]Correlator)
+	vecs := make(map[trace.FileID]vsm.Vector)
+	if err := scanState(s,
+		func(f trace.FileID, list []Correlator) { lists[f] = list },
+		func(f trace.FileID, vec vsm.Vector) { vecs[f] = vec },
+	); err != nil {
+		return err
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.fed = fed
+	for f, list := range lists {
+		m.lists[f] = list
+	}
+	for f, vec := range vecs {
+		m.vectors[f] = vec
+	}
+	m.mu.Unlock()
+	return nil
+}
 
+// scanState decodes every persisted list and vector, handing each to the
+// callback that installs it — shared by the whole-model and routed
+// (per-owning-shard) load paths.
+func scanState(s *kvstore.Store, putList func(trace.FileID, []Correlator), putVec func(trace.FileID, vsm.Vector)) error {
 	var loadErr error
 	s.Scan([]byte(keyPrefixList), []byte(keyPrefixList+"\xff"), func(k, v []byte) bool {
 		if len(k) != len(keyPrefixList)+4 {
@@ -126,7 +176,7 @@ func (m *Model) LoadFrom(s *kvstore.Store) error {
 			loadErr = fmt.Errorf("core: list %d: %w", f, err)
 			return false
 		}
-		m.lists[f] = list
+		putList(f, list)
 		return true
 	})
 	if loadErr != nil {
@@ -143,10 +193,78 @@ func (m *Model) LoadFrom(s *kvstore.Store) error {
 			loadErr = fmt.Errorf("core: vector %d: %w", f, err)
 			return false
 		}
-		m.vectors[f] = vec
+		putVec(f, vec)
 		return true
 	})
 	return loadErr
+}
+
+// SaveMerged writes the ensemble's complete mined state as ONE logical
+// model. Shard state is disjoint, so the union of the per-shard lists and
+// vectors under the ordinary key layout is exactly what a single Model
+// mining the same stream would save: a merged save is loadable by
+// Model.LoadFrom, and by LoadMerged at ANY stripe count or partitioner —
+// the persistence half of resizing a cluster between runs.
+func (s *ShardedModel) SaveMerged(st *kvstore.Store) error {
+	for _, m := range s.shards {
+		if err := m.saveState(st); err != nil {
+			return err
+		}
+	}
+	return saveConfig(st, s.cfg.Weight, s.cfg.MaxStrength, s.Fed())
+}
+
+// LoadMerged restores a merged save into a freshly-constructed ensemble,
+// rebalancing every list and vector onto the shard the ensemble's current
+// partitioner assigns it to. The stripe count and partitioner may differ
+// freely from the ones that produced the save (that is the point); the
+// mining parameters must match, as in LoadFrom. Predictions after a load
+// are identical at any stripe count.
+func (s *ShardedModel) LoadMerged(st *kvstore.Store) error {
+	weight, strength, fed, err := readConfig(st)
+	if err != nil {
+		return err
+	}
+	if weight != s.cfg.Weight || strength != s.cfg.MaxStrength {
+		return fmt.Errorf("core: persisted parameters (p=%v, max_strength=%v) differ from model (p=%v, max_strength=%v)",
+			weight, strength, s.cfg.Weight, s.cfg.MaxStrength)
+	}
+	// Route while decoding, install each shard under one lock — readers
+	// observe the usual consistent-per-shard snapshot, never a shard caught
+	// mid-restore.
+	n := len(s.shards)
+	lists := make([]map[trace.FileID][]Correlator, n)
+	vecs := make([]map[trace.FileID]vsm.Vector, n)
+	for i := 0; i < n; i++ {
+		lists[i] = make(map[trace.FileID][]Correlator)
+		vecs[i] = make(map[trace.FileID]vsm.Vector)
+	}
+	if err := scanState(st,
+		func(f trace.FileID, list []Correlator) { lists[s.ownerOf(f)][f] = list },
+		func(f trace.FileID, vec vsm.Vector) { vecs[s.ownerOf(f)][f] = vec },
+	); err != nil {
+		return err
+	}
+	for i, m := range s.shards {
+		m.mu.Lock()
+		for f, list := range lists[i] {
+			m.lists[f] = list
+		}
+		for f, vec := range vecs[i] {
+			m.vectors[f] = vec
+		}
+		m.mu.Unlock()
+	}
+	if len(s.shards) == 1 {
+		// Single-shard parity: the lone Model carries the ensemble's fed
+		// counter, exactly as if it had mined the stream itself.
+		m := s.shards[0]
+		m.mu.Lock()
+		m.fed = fed
+		m.mu.Unlock()
+	}
+	s.disp.Advance(fed)
+	return nil
 }
 
 func decodeList(raw []byte) ([]Correlator, error) {

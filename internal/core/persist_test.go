@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"farmer/internal/kvstore"
+	"farmer/internal/partition"
 	"farmer/internal/trace"
 	"farmer/internal/tracegen"
 	"farmer/internal/vsm"
@@ -126,6 +127,151 @@ func TestLoadedModelKeepsMining(t *testing.T) {
 	m2.Feed(&trace.Record{File: 1, UID: 1, Path: "/a/b"})
 	if m2.Stats().Fed != before+1 {
 		t.Fatal("restored model did not keep counting")
+	}
+}
+
+// minedShardedHP mines the HP trace on an ensemble and returns both for
+// merged-persistence checks.
+func minedShardedHP(t *testing.T, records, shards int) (*trace.Trace, *ShardedModel) {
+	t.Helper()
+	tr := tracegen.HP(records).MustGenerate()
+	cfg := DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(true)
+	cfg.Shards = shards
+	sm := NewSharded(cfg)
+	sm.FeedTraceParallel(tr)
+	return tr, sm
+}
+
+func assertSamePredictions(t *testing.T, tr *trace.Trace, want, got interface {
+	Predict(f trace.FileID, k int) []trace.FileID
+}) {
+	t.Helper()
+	for f := 0; f < tr.FileCount; f++ {
+		id := trace.FileID(f)
+		w, g := want.Predict(id, 8), got.Predict(id, 8)
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("file %d predictions differ: %v vs %v", f, w, g)
+		}
+	}
+}
+
+// TestSaveMergedLoadMergedResize is the resize round trip: a 4-stripe
+// ensemble saves once, and ensembles at other stripe counts — and under
+// entirely different deployment partitioners — load the same record with
+// identical predictions. A plain Model can read the merged save too.
+func TestSaveMergedLoadMergedResize(t *testing.T) {
+	tr, sm := minedShardedHP(t, 8000, 4)
+	st, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := sm.SaveMerged(st); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := sm.Config()
+	for _, shards := range []int{1, 2, 7} {
+		c := cfg
+		c.Shards = shards
+		sm2 := NewSharded(c)
+		if err := sm2.LoadMerged(st); err != nil {
+			t.Fatal(err)
+		}
+		if sm2.Fed() != sm.Fed() {
+			t.Fatalf("shards=%d: fed %d != %d", shards, sm2.Fed(), sm.Fed())
+		}
+		assertSamePredictions(t, tr, sm, sm2)
+		ws, gs := sm.Stats(), sm2.Stats()
+		if ws.Lists != gs.Lists || ws.Correlators != gs.Correlators || ws.TrackedFiles != gs.TrackedFiles {
+			t.Fatalf("shards=%d: stats differ: %+v vs %+v", shards, ws, gs)
+		}
+	}
+	for _, part := range []partition.Partitioner{partition.Hash, partition.Group} {
+		sm2 := NewShardedPartitioned(cfg, 3, part)
+		if err := sm2.LoadMerged(st); err != nil {
+			t.Fatal(err)
+		}
+		assertSamePredictions(t, tr, sm, sm2)
+	}
+	// Backward compatibility: the merged save is an ordinary model save.
+	single := New(cfg)
+	if err := single.LoadFrom(st); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, tr, sm, single)
+}
+
+// TestLoadMergedRebalancesPlacement: after a resize load, every file's
+// state sits on the shard the new stripe count assigns — no orphans.
+func TestLoadMergedRebalancesPlacement(t *testing.T) {
+	tr, sm := minedShardedHP(t, 5000, 2)
+	st, _ := kvstore.Open("")
+	defer st.Close()
+	if err := sm.SaveMerged(st); err != nil {
+		t.Fatal(err)
+	}
+	c := sm.Config()
+	c.Shards = 5
+	sm2 := NewSharded(c)
+	if err := sm2.LoadMerged(st); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < tr.FileCount; f++ {
+		id := trace.FileID(f)
+		own := sm2.Partitioner()(id, sm2.Shards())
+		for i := 0; i < sm2.Shards(); i++ {
+			if n := len(sm2.Shard(i).CorrelatorList(id)); n > 0 && i != own {
+				t.Fatalf("file %d has %d correlators on shard %d, owner is %d", f, n, i, own)
+			}
+		}
+	}
+}
+
+// TestLoadMergedKeepsMining: a resized ensemble continues to learn and
+// counts from the restored fed total.
+func TestLoadMergedKeepsMining(t *testing.T) {
+	_, sm := minedShardedHP(t, 2000, 3)
+	st, _ := kvstore.Open("")
+	defer st.Close()
+	if err := sm.SaveMerged(st); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2} {
+		c := sm.Config()
+		c.Shards = shards
+		sm2 := NewSharded(c)
+		if err := sm2.LoadMerged(st); err != nil {
+			t.Fatal(err)
+		}
+		before := sm2.Fed()
+		if before != sm.Fed() {
+			t.Fatalf("restored fed %d != %d", before, sm.Fed())
+		}
+		sm2.Feed(&trace.Record{File: 1, UID: 1, Path: "/a/b"})
+		if sm2.Fed() != before+1 {
+			t.Fatalf("resized ensemble did not keep counting")
+		}
+	}
+}
+
+func TestLoadMergedRejectsParameterMismatch(t *testing.T) {
+	_, sm := minedShardedHP(t, 2000, 2)
+	st, _ := kvstore.Open("")
+	defer st.Close()
+	if err := sm.SaveMerged(st); err != nil {
+		t.Fatal(err)
+	}
+	c := sm.Config()
+	c.Weight = 0.3
+	if err := NewSharded(c).LoadMerged(st); err == nil {
+		t.Fatal("parameter mismatch accepted")
+	}
+	empty, _ := kvstore.Open("")
+	defer empty.Close()
+	if err := NewSharded(sm.Config()).LoadMerged(empty); err == nil {
+		t.Fatal("empty store accepted")
 	}
 }
 

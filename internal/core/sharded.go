@@ -6,55 +6,49 @@
 // sharded miner splits the work by the only key all mined state is indexed
 // under — the predecessor FileID: file x's Correlator List, its graph node
 // (N_x and every N_xy), and its semantic vector all live on shard(x), and
-// nowhere else. A single dispatcher replays the lookahead window in global
-// stream order (cheap: window bookkeeping plus Stage-1 extraction) and
-// fans the expensive Stage-3/4 work — semantic-similarity evaluation and
-// Correlator-List resorting — out to the owning shards as ordered events.
+// nowhere else. A partition.Dispatcher replays the lookahead window in
+// global stream order (cheap: window bookkeeping plus Stage-1 extraction)
+// and fans the expensive Stage-3/4 work — semantic-similarity evaluation
+// and Correlator-List resorting — out to the owning shards as ordered
+// events.
 //
 // Because every event stream a shard consumes is FIFO in global stream
 // order and shard state is disjoint, an N-shard batch ingest produces
 // exactly the state a single Model reaches feeding the same records in
 // order — not merely "within tolerance". The only divergence window is
 // mid-batch reads, which may observe one shard ahead of another.
+//
+// The same dispatcher serves deployments beyond one process: see
+// internal/partition for the generic layer and internal/hust for the
+// multi-MDS cluster that mines the global model across server boundaries.
 package core
 
 import (
 	"sync"
 	"sync/atomic"
 
-	"farmer/internal/graph"
+	"farmer/internal/partition"
 	"farmer/internal/trace"
 	"farmer/internal/vsm"
 )
 
-// shardEvent is one unit of work routed to the shard owning its state.
-// access events install the freshly extracted semantic vector of succ on
-// shard(succ); edge events add LDA credit to pred->succ and re-evaluate
-// R(pred, succ) on shard(pred), carrying succ's vector because the owning
-// shard does not store it.
-type shardEvent struct {
-	pred   trace.FileID
-	succ   trace.FileID
-	credit float64
-	vec    vsm.Vector
-	seq    uint64 // global ingest sequence; set on access events for taps
-	access bool
-}
-
-// applyEvents replays ordered events against one shard under its lock.
-func (m *Model) applyEvents(evs []shardEvent) {
+// ApplyEvents replays ordered partition events against this model under its
+// lock — the Owner side of the partition layer. Access events install the
+// freshly extracted semantic vector; edge events add LDA credit and
+// re-evaluate R(pred, succ) with the successor's vector shipped inline.
+func (m *Model) ApplyEvents(evs []partition.Event) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i := range evs {
 		ev := &evs[i]
-		if ev.access {
-			m.vectors[ev.succ] = ev.vec
+		if ev.Access {
+			m.vectors[ev.Succ] = ev.Vec
 			continue
 		}
-		if ev.credit > 0 {
-			m.g.Add(ev.pred, ev.succ, ev.credit)
+		if ev.Credit > 0 {
+			m.g.Add(ev.Pred, ev.Succ, ev.Credit)
 		}
-		m.evaluateVec(ev.pred, ev.succ, ev.vec, true)
+		m.evaluateVec(ev.Pred, ev.Succ, ev.Vec, true)
 	}
 }
 
@@ -67,15 +61,13 @@ func (m *Model) applyEvents(evs []shardEvent) {
 // ordinary single-lock path, so results — including intermediate states —
 // are bit-identical to Model.
 type ShardedModel struct {
-	cfg       Config
-	gcfg      graph.Config // normalized; drives dispatcher windowing
-	shards    []*Model
-	extractor *vsm.Extractor
+	cfg    Config
+	part   partition.Partitioner
+	shards []*Model
 
-	dmu    sync.Mutex // serializes dispatch (window + emission order)
-	window []trace.FileID
-	one    [1]shardEvent // scratch for the streaming Feed path
-	fed    atomic.Uint64
+	dmu  sync.Mutex            // serializes dispatch (window + emission order)
+	disp *partition.Dispatcher // owns the window and the global sequence
+	one  [1]partition.Event    // scratch for the streaming Feed path
 
 	// Event taps (see tap.go). tapCount mirrors len(taps) so the hot path
 	// skips the lock when nobody listens.
@@ -87,33 +79,48 @@ type ShardedModel struct {
 // NewSharded creates a sharded miner with cfg.Shards partitions (0 and 1
 // both mean unsharded). Like New it panics on invalid configuration.
 func NewSharded(cfg Config) *ShardedModel {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
 	n := cfg.Shards
 	if n < 1 {
 		n = 1
 	}
+	return NewShardedPartitioned(cfg, n, partition.Stripe)
+}
+
+// NewShardedPartitioned creates a sharded miner whose stripes are the
+// partitions of a deployment-level Partitioner — the composition a
+// multi-server cluster uses so every server's shard holds exactly the files
+// the cluster routes to it. owners is the partition count; a nil part
+// defaults to partition.Stripe. cfg.Shards is ignored (the explicit owner
+// count wins). Like New it panics on invalid configuration.
+func NewShardedPartitioned(cfg Config, owners int, part partition.Partitioner) *ShardedModel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if part == nil {
+		part = partition.Stripe
+	}
 	shardCfg := cfg
 	shardCfg.Shards = 0
-	s := &ShardedModel{cfg: cfg, gcfg: cfg.Graph.Normalized()}
-	for i := 0; i < n; i++ {
+	// Config() reports the real partition count, whatever cfg.Shards said
+	// (NewSharded normalizes 0 to 1; here the explicit owner count wins).
+	cfg.Shards = owners
+	s := &ShardedModel{cfg: cfg, part: part}
+	for i := 0; i < owners; i++ {
 		s.shards = append(s.shards, New(shardCfg))
 	}
-	ex := vsm.NewExtractor(cfg.Mask)
-	ex.Alg = cfg.PathAlg
-	s.extractor = ex
+	s.disp = partition.NewDispatcher(partition.Config{
+		Owners:      owners,
+		Partitioner: part,
+		Mask:        cfg.Mask,
+		PathAlg:     cfg.PathAlg,
+		Graph:       cfg.Graph,
+	})
 	return s
 }
 
-// shardOf stripes a FileID across n partitions (Fibonacci hashing, so
-// contiguously allocated correlation groups spread evenly).
-func shardOf(f trace.FileID, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	return int((uint64(f) * 0x9E3779B97F4A7C15 >> 32) % uint64(n))
-}
+// shardOf stripes a FileID across n partitions (partition.Stripe — Fibonacci
+// hashing, so contiguously allocated correlation groups spread evenly).
+func shardOf(f trace.FileID, n int) int { return partition.Stripe(f, n) }
 
 // Config returns the ensemble's configuration (including Shards).
 func (s *ShardedModel) Config() Config { return s.cfg }
@@ -121,37 +128,15 @@ func (s *ShardedModel) Config() Config { return s.cfg }
 // Shards reports the partition count.
 func (s *ShardedModel) Shards() int { return len(s.shards) }
 
-func (s *ShardedModel) shardFor(f trace.FileID) *Model {
-	return s.shards[shardOf(f, len(s.shards))]
+// Partitioner reports the stripe function routing files to shards.
+func (s *ShardedModel) Partitioner() partition.Partitioner { return s.part }
+
+func (s *ShardedModel) ownerOf(f trace.FileID) int {
+	return s.part(f, len(s.shards))
 }
 
-// dispatchLocked runs Stage 1 for one record and emits the per-shard events
-// that complete Stages 2-4, mirroring Model.Feed: LDA credit for every
-// window predecessor (most recent first, as graph.Feed assigns it) fused
-// with the re-evaluation of R(pred, file). Callers hold s.dmu.
-func (s *ShardedModel) dispatchLocked(r *trace.Record, emit func(shard int, ev shardEvent)) uint64 {
-	n := len(s.shards)
-	seq := s.fed.Add(1)
-	v := s.extractor.Extract(r)
-	emit(shardOf(r.File, n), shardEvent{succ: r.File, vec: v, seq: seq, access: true})
-	for i := len(s.window) - 1; i >= 0; i-- {
-		pred := s.window[i]
-		if pred == r.File {
-			continue
-		}
-		dist := len(s.window) - i // 1 = immediate predecessor
-		credit := 1.0 - float64(dist-1)*s.gcfg.Decrement
-		if credit < s.gcfg.MinAssign {
-			credit = s.gcfg.MinAssign
-		}
-		emit(shardOf(pred, n), shardEvent{pred: pred, succ: r.File, credit: credit, vec: v})
-	}
-	s.window = append(s.window, r.File)
-	if len(s.window) > s.gcfg.Window {
-		copy(s.window, s.window[1:])
-		s.window = s.window[:s.gcfg.Window]
-	}
-	return seq
+func (s *ShardedModel) shardFor(f trace.FileID) *Model {
+	return s.shards[s.ownerOf(f)]
 }
 
 // Feed ingests one record. Unlike Model.Feed it is safe to call from many
@@ -161,7 +146,7 @@ func (s *ShardedModel) Feed(r *trace.Record) {
 	if len(s.shards) == 1 {
 		if s.tapCount.Load() == 0 {
 			s.shards[0].Feed(r)
-			s.fed.Add(1)
+			s.disp.Advance(1)
 			return
 		}
 		// dmu keeps seq assignment and tap publication atomic so the tap's
@@ -172,18 +157,33 @@ func (s *ShardedModel) Feed(r *trace.Record) {
 		s.dmu.Lock()
 		defer s.dmu.Unlock()
 		s.shards[0].Feed(r)
-		seq := s.fed.Add(1)
+		seq := s.disp.Advance(1)
 		s.publish(0, TapEvent{Seq: seq, File: r.File, Shard: 0})
 		return
 	}
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
-	seq := s.dispatchLocked(r, func(shard int, ev shardEvent) {
+	seq := s.disp.Dispatch(r, func(shard int, ev partition.Event) {
 		s.one[0] = ev
-		s.shards[shard].applyEvents(s.one[:])
+		s.shards[shard].ApplyEvents(s.one[:])
 	})
-	home := shardOf(r.File, len(s.shards))
+	home := s.ownerOf(r.File)
 	s.publish(home, TapEvent{Seq: seq, File: r.File, Shard: home})
+}
+
+// DispatchExternal sequences one record through the ensemble's dispatcher
+// but hands the emitted events to the caller instead of applying them — the
+// hook a multi-server deployment uses to route events through its own
+// transport (inter-MDS mailboxes) while this ensemble remains the single
+// source of truth for the window, the global sequence and persistence. The
+// caller owns delivery: each shard's events must reach
+// Shard(owner).ApplyEvents in emission order for the ensemble to stay
+// bit-identical to a locally fed one. Taps do not observe externally
+// dispatched records.
+func (s *ShardedModel) DispatchExternal(r *trace.Record, emit func(owner int, ev partition.Event)) uint64 {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.disp.Dispatch(r, emit)
 }
 
 // eventChunk sizes the batches of events shipped to a shard worker: large
@@ -205,14 +205,14 @@ func (s *ShardedModel) FeedBatch(records []trace.Record) {
 			for i := range records {
 				s.shards[0].Feed(&records[i])
 			}
-			s.fed.Add(uint64(len(records)))
+			s.disp.Advance(uint64(len(records)))
 			return
 		}
 		s.dmu.Lock()
 		defer s.dmu.Unlock()
 		for i := range records {
 			s.shards[0].Feed(&records[i])
-			seq := s.fed.Add(1)
+			seq := s.disp.Advance(1)
 			s.publish(0, TapEvent{Seq: seq, File: records[i].File, Shard: 0})
 		}
 		return
@@ -221,31 +221,31 @@ func (s *ShardedModel) FeedBatch(records []trace.Record) {
 	defer s.dmu.Unlock()
 
 	n := len(s.shards)
-	chans := make([]chan []shardEvent, n)
+	chans := make([]chan []partition.Event, n)
 	var wg sync.WaitGroup
 	for i := range chans {
-		chans[i] = make(chan []shardEvent, 8)
+		chans[i] = make(chan []partition.Event, 8)
 		wg.Add(1)
-		go func(shard int, m *Model, ch <-chan []shardEvent) {
+		go func(shard int, m *Model, ch <-chan []partition.Event) {
 			defer wg.Done()
 			for evs := range ch {
-				m.applyEvents(evs)
+				m.ApplyEvents(evs)
 				if s.tapCount.Load() == 0 {
 					continue
 				}
 				// Post-ingest taps: one event per record this shard owns,
 				// published by the lone worker so delivery stays FIFO.
 				for i := range evs {
-					if evs[i].access {
-						s.publish(shard, TapEvent{Seq: evs[i].seq, File: evs[i].succ, Shard: shard})
+					if evs[i].Access {
+						s.publish(shard, TapEvent{Seq: evs[i].Seq, File: evs[i].Succ, Shard: shard})
 					}
 				}
 			}
 		}(i, s.shards[i], chans[i])
 	}
 
-	bufs := make([][]shardEvent, n)
-	emit := func(shard int, ev shardEvent) {
+	bufs := make([][]partition.Event, n)
+	emit := func(shard int, ev partition.Event) {
 		bufs[shard] = append(bufs[shard], ev)
 		if len(bufs[shard]) >= eventChunk {
 			chans[shard] <- bufs[shard]
@@ -253,7 +253,7 @@ func (s *ShardedModel) FeedBatch(records []trace.Record) {
 		}
 	}
 	for i := range records {
-		s.dispatchLocked(&records[i], emit)
+		s.disp.Dispatch(&records[i], emit)
 	}
 	for i := range chans {
 		if len(bufs[i]) > 0 {
@@ -291,7 +291,7 @@ func (s *ShardedModel) Vector(f trace.FileID) (vsm.Vector, bool) {
 }
 
 // Fed reports how many records the ensemble has ingested.
-func (s *ShardedModel) Fed() uint64 { return s.fed.Load() }
+func (s *ShardedModel) Fed() uint64 { return s.disp.Dispatched() }
 
 // ResetWindow forgets the lookahead window (stream boundary) while keeping
 // all mined knowledge.
@@ -302,7 +302,7 @@ func (s *ShardedModel) ResetWindow() {
 	}
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
-	s.window = s.window[:0]
+	s.disp.ResetWindow()
 }
 
 // Stats merges the per-shard footprints. Shard state is disjoint, so the
@@ -318,7 +318,7 @@ func (s *ShardedModel) Stats() Stats {
 		out.GraphEdges += st.GraphEdges
 		out.MemoryBytes += st.MemoryBytes
 	}
-	out.Fed = s.fed.Load()
+	out.Fed = s.disp.Dispatched()
 	return out
 }
 

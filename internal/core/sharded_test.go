@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"farmer/internal/partition"
 	"farmer/internal/trace"
 	"farmer/internal/tracegen"
 )
@@ -196,6 +197,38 @@ func TestShardedConfig(t *testing.T) {
 	}
 	if NewSharded(DefaultConfig()).Shards() != 1 {
 		t.Fatal("Shards = 0 should collapse to one partition")
+	}
+}
+
+// TestShardedPartitionedEquivalence: the ensemble mines bit-identical state
+// whatever deployment partitioner routes files to owners — the property the
+// multi-MDS cluster's global miner is built on. Mined state is
+// stripe-placement-independent, so the single-lock Model stays the reference.
+func TestShardedPartitionedEquivalence(t *testing.T) {
+	tr := shardTrace(t, 4000)
+	single := New(DefaultConfig())
+	single.FeedTrace(tr)
+	for _, part := range []partition.Partitioner{partition.Hash, partition.Group} {
+		sm := NewShardedPartitioned(DefaultConfig(), 3, part)
+		if sm.Shards() != 3 {
+			t.Fatalf("Shards() = %d, want 3", sm.Shards())
+		}
+		sm.FeedTraceParallel(tr)
+		assertModelsEqual(t, tr, single, sm, 0)
+		// Every file's state must live on exactly the shard the deployment
+		// partitioner names (placement, not just content).
+		for f := 0; f < tr.FileCount; f++ {
+			id := trace.FileID(f)
+			own := sm.Partitioner()(id, sm.Shards())
+			if list := sm.Shard(own).CorrelatorList(id); len(list) != len(sm.CorrelatorList(id)) {
+				t.Fatalf("file %d list not on owner %d", f, own)
+			}
+			for i := 0; i < sm.Shards(); i++ {
+				if i != own && len(sm.Shard(i).CorrelatorList(id)) != 0 {
+					t.Fatalf("file %d leaked state onto shard %d (owner %d)", f, i, own)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterGlobalVsLocalSweep pins the cluster experiment's structural
+// claims at test scale: every global run mines the exact sequential state
+// drop-free, ships real cross-MDS traffic, and never pays for it on the
+// demand path — global demand wait is no worse than the per-partition
+// baseline's on every (trace, partitioner) pair.
+func TestClusterGlobalVsLocalSweep(t *testing.T) {
+	rows := ClusterGlobalVsLocal(smallOpt())
+	if len(rows) != 16 { // 4 traces × {hash, group} × {local, global}
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	type key struct{ trace, part string }
+	local := map[key]ClusterRow{}
+	global := map[key]ClusterRow{}
+	for _, r := range rows {
+		k := key{r.Trace, r.Partition}
+		switch r.Mining {
+		case "local":
+			local[k] = r
+		case "global":
+			global[k] = r
+		default:
+			t.Fatalf("unknown mining mode %q", r.Mining)
+		}
+	}
+	for k, g := range global {
+		l, ok := local[k]
+		if !ok {
+			t.Fatalf("%v: no local baseline", k)
+		}
+		if !g.FingerprintOK {
+			t.Errorf("%v: global merged state diverged from the sequential reference", k)
+		}
+		if g.MailboxDropped != 0 {
+			t.Errorf("%v: %d mailbox drops at test scale", k, g.MailboxDropped)
+		}
+		if g.CrossRatio <= 0 {
+			t.Errorf("%v: no cross-MDS traffic", k)
+		}
+		if g.AvgDemandWait > l.AvgDemandWait {
+			t.Errorf("%v: global demand wait %v worse than local %v", k, g.AvgDemandWait, l.AvgDemandWait)
+		}
+	}
+	out := ClusterTable(rows).String()
+	for _, want := range []string{"hash", "group", "local", "global", "exact"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("table reports divergence:\n%s", out)
+	}
+}

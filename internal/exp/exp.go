@@ -43,6 +43,8 @@ type Options struct {
 	// (0 keeps the legacy free-mining calibration). Sync runs pay it on
 	// the demand path; async runs on the mining station.
 	MineTime time.Duration
+	// ClusterServers sizes the multi-MDS cluster experiments (default 4).
+	ClusterServers int
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +63,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.ClusterServers <= 0 {
+		o.ClusterServers = 4
 	}
 	// Both knobs only layer on top of an explicitly configured Replay: a
 	// caller-supplied Replay.MDS.AsyncPrefetch/MineTime must survive zero

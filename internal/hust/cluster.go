@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"farmer/internal/metrics"
 	"farmer/internal/sim"
 	"farmer/internal/trace"
 )
@@ -24,7 +25,7 @@ func DefaultOSDConfig() OSDConfig {
 type OSD struct {
 	cfg OSDConfig
 	srv *sim.Server
-	io  uint64
+	io  metrics.Counter
 }
 
 // NewOSD attaches an OSD to the engine.
@@ -45,7 +46,7 @@ func (o *OSD) Read(size uint32, sequential bool, done func(time.Duration)) {
 	if !sequential {
 		service += o.cfg.SeekTime
 	}
-	o.io++
+	o.io.Inc()
 	o.srv.Submit(sim.PriorityDemand, &sim.Request{
 		Service: service,
 		Done: func(wait, total time.Duration) {
@@ -56,8 +57,11 @@ func (o *OSD) Read(size uint32, sequential bool, done func(time.Duration)) {
 	})
 }
 
-// IOs reports the number of reads submitted.
-func (o *OSD) IOs() uint64 { return o.io }
+// IOs reports the number of reads submitted. Like the metrics.Counter it
+// wraps, it is safe to read while other goroutines submit — the engine
+// itself is single-threaded, but OSDs are also reused by harnesses that
+// poll statistics from outside the simulation loop.
+func (o *OSD) IOs() uint64 { return o.io.Load() }
 
 // ReplayConfig drives a trace replay against a cluster.
 type ReplayConfig struct {
@@ -69,10 +73,10 @@ type ReplayConfig struct {
 	TimeScale float64
 	// NetworkRTT is added to every client-observed response time.
 	NetworkRTT time.Duration
-	// WarmupFraction of records at the head of the trace are replayed
-	// (mining + caching active) but excluded from response/hit statistics
-	// via the returned warm stats boundary.
-	MaxRecords int // 0 = whole trace
+	// MaxRecords caps how many records of the trace are replayed, so a
+	// short prefix run shares one generated trace with full-length runs;
+	// 0 replays the whole trace.
+	MaxRecords int
 }
 
 // DefaultReplayConfig spaces arrivals at 1ms, which loads the default

@@ -1,0 +1,317 @@
+// Global mining across the multi-MDS cluster: instead of each server mining
+// only the request sub-stream it observes (the pessimistic per-partition
+// deployment the multimds.go comment admits), a cluster-level
+// partition.Dispatcher sequences every demand access once and fans the
+// Stage-3/4 edge events out to the servers owning the affected state. The
+// partitions of one core.ShardedModel ARE the servers' local miners —
+// server i predicts from Shard(i), which holds exactly the files the
+// cluster routes to i — so N partitioned servers collectively mine the same
+// model a single ShardedModel would, bit for bit, while every demand
+// request still touches only its home server.
+//
+// Cross-server event traffic is modeled, not assumed free: events whose
+// owner differs from the record's home server travel through a bounded,
+// drop-oldest partition.Mailbox and arrive after GlobalConfig.NetDelay of
+// virtual time; each record's mining CPU is priced on the owning server's
+// mining station (MDSConfig.MineTime), which also times the prefetch issue.
+// Overload therefore degrades remote-model freshness (counted drops) and
+// prefetch coverage — never demand latency, which stays on the pure
+// cache/store path (MDSConfig.ExternalMiner).
+package hust
+
+import (
+	"fmt"
+	"time"
+
+	"farmer/internal/core"
+	"farmer/internal/partition"
+	"farmer/internal/predictors"
+	"farmer/internal/sim"
+	"farmer/internal/trace"
+)
+
+// GlobalConfig tunes the cluster-level global miner.
+type GlobalConfig struct {
+	// NetDelay is the one-way virtual-time latency of an inter-MDS event
+	// delivery. Events bound for the record's home server apply immediately
+	// (they never leave the machine).
+	NetDelay time.Duration
+	// MailboxCap bounds each server's in-flight event mailbox; beyond it
+	// the oldest undelivered event is dropped and counted
+	// (partition.DefaultMailboxCap when 0).
+	MailboxCap int
+}
+
+// DefaultGlobalConfig models a same-rack metadata cluster: 100µs one-way
+// event latency, default mailbox bound.
+func DefaultGlobalConfig() GlobalConfig {
+	return GlobalConfig{NetDelay: 100 * time.Microsecond}
+}
+
+// globalMiner is the cluster-side mining state: the collective ensemble,
+// one mailbox per server, and traffic accounting.
+//
+// Delivery is strictly in order per server — the invariant bit-identical
+// mining rests on — AND honestly priced: every event carries a due time
+// (push time for the home server's own share, +NetDelay for remote
+// shares), and a server applies its stream only up to the first event
+// whose due time has not arrived. A local event queued behind an in-flight
+// remote one therefore waits for it (head-of-line blocking, exactly what
+// in-order delivery over a network costs), rather than the remote event
+// jumping its latency.
+type globalMiner struct {
+	cfg   GlobalConfig
+	ens   *core.ShardedModel
+	boxes []*partition.Mailbox
+	// due[i] holds the delivery deadlines of boxes[i]'s queued events, in
+	// the same FIFO order (kept aligned through overflow drops).
+	due [][]time.Duration
+	// pending[i] marks a scheduled wake-up for server i, so a burst of
+	// remote events costs one virtual-time event, not one per record.
+	pending       []bool
+	events        uint64
+	cross         uint64
+	crossPrefetch uint64
+}
+
+// push enqueues one event for owner with its delivery deadline, keeping the
+// due deque aligned when the bounded mailbox sheds its oldest entries.
+func (g *globalMiner) push(owner int, ev partition.Event, dueAt time.Duration) {
+	before := g.boxes[owner].Dropped()
+	g.boxes[owner].Push(ev)
+	if d := g.boxes[owner].Dropped() - before; d > 0 {
+		g.due[owner] = g.due[owner][d:]
+	}
+	g.due[owner] = append(g.due[owner], dueAt)
+}
+
+// globalPredictor serves Predict from the server's partition of the
+// cluster-wide ensemble. Record is a no-op: the cluster dispatcher mines
+// globally, so a server never feeds its own sub-stream.
+type globalPredictor struct{ m *core.Model }
+
+func (globalPredictor) Name() string                                   { return "FARMER-global" }
+func (globalPredictor) Record(*trace.Record)                           {}
+func (p globalPredictor) Predict(f trace.FileID, k int) []trace.FileID { return p.m.Predict(f, k) }
+
+var _ predictors.Predictor = globalPredictor{}
+
+// NewGlobalCluster builds an n-server cluster that mines the global
+// correlation model. part routes both demand requests and mined state
+// (nil = HashPartitioner); mdsCfg parameterises every server (AsyncPrefetch
+// and ExternalMiner are forced on — global mining is asynchronous by
+// construction); mc configures the collective miner (mc.Shards is ignored:
+// the ensemble is striped by server).
+func NewGlobalCluster(eng *sim.Engine, n int, part Partitioner, mdsCfg MDSConfig,
+	mc core.Config, gcfg GlobalConfig) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hust: cluster size %d", n)
+	}
+	if part == nil {
+		part = HashPartitioner
+	}
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	mdsCfg.AsyncPrefetch = true
+	mdsCfg.ExternalMiner = true
+	if mdsCfg.MinerWorkers == 0 {
+		mdsCfg.MinerWorkers = mdsCfg.Workers
+	}
+	ens := core.NewShardedPartitioned(mc, n, part)
+	g := &globalMiner{
+		cfg:     gcfg,
+		ens:     ens,
+		boxes:   make([]*partition.Mailbox, n),
+		due:     make([][]time.Duration, n),
+		pending: make([]bool, n),
+	}
+	for i := range g.boxes {
+		g.boxes[i] = partition.NewMailbox(gcfg.MailboxCap, nil)
+	}
+	c, err := NewCluster(eng, n, part, func(i int, e *sim.Engine) (*MDS, error) {
+		return NewMDS(e, mdsCfg, nil, globalPredictor{m: ens.Shard(i)})
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.global = g
+	return c, nil
+}
+
+// mineGlobal sequences one record through the cluster dispatcher and routes
+// its events: the home server's share is due immediately, remote shares
+// after NetDelay. Per-server application order equals global dispatch order
+// — each mailbox is FIFO and deliverGlobal releases only its due prefix —
+// which is the invariant keeping the ensemble bit-identical to a single
+// locally fed ShardedModel while nothing drops.
+func (c *Cluster) mineGlobal(home int, r *trace.Record) {
+	g := c.global
+	now := c.eng.Now()
+	c.global.ens.DispatchExternal(r, func(owner int, ev partition.Event) {
+		g.events++
+		dueAt := now
+		if owner != home {
+			g.cross++
+			dueAt += g.cfg.NetDelay
+		}
+		g.push(owner, ev, dueAt)
+		c.deliverGlobal(owner)
+	})
+}
+
+// deliverGlobal applies a server's due event prefix to its partition of the
+// ensemble and schedules a wake-up for the first still-in-flight event.
+// State applies at delivery (keeping order deterministic); the mining CPU
+// is priced afterwards on the server's mining station, whose completion
+// issues the prefetches for each record the server owns — the same cost
+// model as the single-MDS async pipeline.
+func (c *Cluster) deliverGlobal(owner int) {
+	g := c.global
+	srv := c.servers[owner]
+	now := c.eng.Now()
+	var evs []partition.Event
+	for len(g.due[owner]) > 0 && g.due[owner][0] <= now {
+		ev, ok := g.boxes[owner].Pop()
+		if !ok {
+			// Overflow shed more events than due deadlines were consumed;
+			// resynchronize (the drops are already counted).
+			g.due[owner] = g.due[owner][:0]
+			break
+		}
+		g.due[owner] = g.due[owner][1:]
+		evs = append(evs, ev)
+	}
+	if len(evs) > 0 {
+		g.ens.Shard(owner).ApplyEvents(evs)
+		for i := range evs {
+			if !evs[i].Access {
+				continue
+			}
+			f := evs[i].Succ
+			srv.SubmitMine(srv.cfg.MineTime, func() { c.issueGlobalPrefetches(owner, f) })
+		}
+	}
+	if len(g.due[owner]) > 0 && !g.pending[owner] {
+		g.pending[owner] = true
+		dst := owner
+		c.eng.After(g.due[owner][0]-now, func() {
+			g.pending[dst] = false
+			c.deliverGlobal(dst)
+		})
+	}
+}
+
+// issueGlobalPrefetches is where global mining pays off: the successors of
+// f may live on ANY server, and a prefetch only helps on the server that
+// will see the successor's demand. Each predicted candidate is therefore
+// routed to its owning server's prefetch queue — locally at once, remotely
+// after NetDelay — with each server's share forming one PrefetchBatch. A
+// per-partition miner cannot do this: it never learns cross-server
+// successors in the first place.
+func (c *Cluster) issueGlobalPrefetches(home int, f trace.FileID) {
+	g := c.global
+	k := c.servers[home].cfg.PrefetchK
+	if k <= 0 {
+		return
+	}
+	cands := g.ens.Predict(f, k)
+	if len(cands) == 0 {
+		return
+	}
+	n := len(c.servers)
+	byOwner := make(map[int][]trace.FileID, 2)
+	for _, cand := range cands {
+		byOwner[c.partition(cand, n)] = append(byOwner[c.partition(cand, n)], cand)
+	}
+	for owner, list := range byOwner {
+		if owner == home {
+			c.servers[owner].PrefetchFiles(list)
+			continue
+		}
+		g.crossPrefetch += uint64(len(list))
+		dst, files := owner, list
+		c.eng.After(g.cfg.NetDelay, func() { c.servers[dst].PrefetchFiles(files) })
+	}
+}
+
+// GlobalMiningStats is the global miner's accounting after a run.
+type GlobalMiningStats struct {
+	// Fed is how many records the cluster dispatcher sequenced.
+	Fed uint64
+	// Events is the total mining events routed; CrossEvents counts the ones
+	// shipped to a server other than the record's home (the inter-MDS
+	// traffic a partitioned deployment pays for global visibility).
+	Events      uint64
+	CrossEvents uint64
+	// CrossRatio is CrossEvents / Events (0 when nothing was mined).
+	CrossRatio float64
+	// CrossPrefetches counts predictions routed to a server other than the
+	// miner's — the cross-partition prefetches only global mining can issue.
+	CrossPrefetches uint64
+	// MailboxDropped counts events evicted from full mailboxes — each one a
+	// permanent, counted divergence from the global model.
+	MailboxDropped uint64
+}
+
+func (g *globalMiner) stats() *GlobalMiningStats {
+	s := &GlobalMiningStats{
+		Fed:             g.ens.Fed(),
+		Events:          g.events,
+		CrossEvents:     g.cross,
+		CrossPrefetches: g.crossPrefetch,
+	}
+	for _, b := range g.boxes {
+		s.MailboxDropped += b.Dropped()
+	}
+	if g.events > 0 {
+		s.CrossRatio = float64(g.cross) / float64(g.events)
+	}
+	return s
+}
+
+// GlobalMiner exposes the cluster's collective ensemble (nil for
+// per-partition clusters): fingerprinting, merged persistence, direct
+// reads. Server i's partition is Miner().Shard(i).
+func (c *Cluster) GlobalMiner() *core.ShardedModel {
+	if c.global == nil {
+		return nil
+	}
+	return c.global.ens
+}
+
+// CorrelatorList reads a file's list from the owning server's partition of
+// the global model — with internal/replay's Fingerprint, the cluster's
+// merged mined state hashes exactly like a single miner's.
+func (c *Cluster) CorrelatorList(f trace.FileID) []core.Correlator {
+	if c.global == nil {
+		return nil
+	}
+	return c.global.ens.CorrelatorList(f)
+}
+
+// Predict proposes up to k successors of f from the global model.
+func (c *Cluster) Predict(f trace.FileID, k int) []trace.FileID {
+	if c.global == nil {
+		return nil
+	}
+	return c.global.ens.Predict(f, k)
+}
+
+// ReplayGlobalCluster drives a whole trace through an n-server
+// global-mining cluster with evenly spaced arrivals. The returned cluster
+// carries the mined ensemble (GlobalMiner) for fingerprinting or merged
+// persistence after the run.
+func ReplayGlobalCluster(t *trace.Trace, cfg ReplayConfig, n int, part Partitioner,
+	mc core.Config, gcfg GlobalConfig) (ClusterStats, *Cluster, error) {
+	eng := sim.New()
+	c, err := NewGlobalCluster(eng, n, part, cfg.MDS, mc, gcfg)
+	if err != nil {
+		return ClusterStats{}, nil, err
+	}
+	cs, err := c.replay(t, cfg)
+	if err != nil {
+		return ClusterStats{}, nil, err
+	}
+	return cs, c, nil
+}

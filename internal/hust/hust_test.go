@@ -30,6 +30,8 @@ func TestMDSConfigValidate(t *testing.T) {
 		{CacheCapacity: 1},
 		{CacheCapacity: 1, Workers: 1},
 		{CacheCapacity: 1, Workers: 1, CacheHitTime: 1, StoreReadTime: 1, PrefetchK: -1},
+		// ExternalMiner without the mining station to carry its work.
+		{CacheCapacity: 1, Workers: 1, CacheHitTime: 1, StoreReadTime: 1, ExternalMiner: true},
 	}
 	for i, c := range bad {
 		if c.Validate() == nil {

@@ -58,6 +58,13 @@ type MDSConfig struct {
 	// burst degrades prefetch coverage instead of demand latency.
 	// 0 = unbounded (legacy).
 	PrefetchQueue int
+	// ExternalMiner marks mining as driven from outside the MDS — the
+	// cluster-level global dispatcher. Demand performs only cache/store
+	// service (no predictor Record, no prefetch issue); the external driver
+	// applies mined state itself, prices mining CPU through SubmitMine and
+	// issues prefetches through IssuePrefetches. Requires AsyncPrefetch,
+	// since the mining station carries the externally submitted work.
+	ExternalMiner bool
 }
 
 // DefaultMDSConfig returns calibrated service times: a cache hit costs
@@ -90,6 +97,8 @@ func (c MDSConfig) Validate() error {
 		return fmt.Errorf("hust: negative miner workers")
 	case c.PrefetchQueue < 0:
 		return fmt.Errorf("hust: negative prefetch queue bound")
+	case c.ExternalMiner && !c.AsyncPrefetch:
+		return fmt.Errorf("hust: ExternalMiner requires AsyncPrefetch (the mining station)")
 	}
 	return nil
 }
@@ -244,6 +253,11 @@ func (m *MDS) Demand(r *trace.Record, done func(resp time.Duration)) {
 	})
 
 	if m.cfg.AsyncPrefetch {
+		if m.cfg.ExternalMiner {
+			// The cluster dispatcher mines this record and calls back via
+			// SubmitMine/IssuePrefetches; the demand path is already done.
+			return
+		}
 		m.miner.Submit(sim.PriorityDemand, &sim.Request{
 			Service: m.cfg.MineTime,
 			Done: func(wait, total time.Duration) {
@@ -263,8 +277,36 @@ func (m *MDS) Demand(r *trace.Record, done func(resp time.Duration)) {
 	}
 }
 
+// SubmitMine prices externally driven mining work on the MDS's mining
+// station: after any queueing behind earlier mining work plus service
+// virtual time, done runs. It is the ExternalMiner counterpart of the
+// submission Demand makes in ordinary async mode.
+func (m *MDS) SubmitMine(service time.Duration, done func()) {
+	m.miner.Submit(sim.PriorityDemand, &sim.Request{
+		Service: service,
+		Done: func(wait, total time.Duration) {
+			if done != nil {
+				done()
+			}
+		},
+	})
+}
+
+// IssuePrefetches exposes the prefetch path to an external mining driver:
+// predict up to PrefetchK successors of f and queue prefetch requests for
+// the ones not already cached.
+func (m *MDS) IssuePrefetches(f trace.FileID) { m.issuePrefetches(f) }
+
 func (m *MDS) issuePrefetches(f trace.FileID) {
-	cands := m.pred.Predict(f, m.cfg.PrefetchK)
+	m.PrefetchFiles(m.pred.Predict(f, m.cfg.PrefetchK))
+}
+
+// PrefetchFiles queues prefetch requests for specific candidate files — the
+// hook a cluster-level miner uses to route a prediction to the server that
+// will actually see the successor's demand. One call is one batch for
+// PrefetchBatch pricing, exactly like the predictions of a single demand
+// access.
+func (m *MDS) PrefetchFiles(cands []trace.FileID) {
 	if len(cands) == 0 {
 		return
 	}

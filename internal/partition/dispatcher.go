@@ -1,0 +1,142 @@
+package partition
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"farmer/internal/graph"
+	"farmer/internal/trace"
+	"farmer/internal/vsm"
+)
+
+// Event is one unit of mining work routed to the owner of the state it
+// touches. Access events install the freshly extracted semantic vector of
+// Succ on owner(Succ); edge events add LDA credit to Pred->Succ and
+// re-evaluate R(Pred, Succ) on owner(Pred), carrying Succ's vector because
+// the owning partition does not store it.
+type Event struct {
+	Pred   trace.FileID
+	Succ   trace.FileID
+	Credit float64
+	Vec    vsm.Vector
+	Seq    uint64 // global ingest sequence of the record that produced it
+	Access bool
+}
+
+// Owner is a sink consuming the ordered event stream of one partition: a
+// local core.Model shard, a Mailbox draining toward a remote metadata
+// server, or any other application target. Every batch an Owner receives is
+// FIFO in global stream order; applying batches in arrival order reproduces
+// the sequential mine exactly.
+type Owner interface {
+	ApplyEvents(evs []Event)
+}
+
+// Config parameterises a Dispatcher. Owners must be >= 1; a nil Partitioner
+// defaults to Stripe.
+type Config struct {
+	Owners      int
+	Partitioner Partitioner
+	// Mask and PathAlg configure the Stage-1 extractor; Graph supplies the
+	// lookahead window and LDA parameters (normalized like graph.New).
+	Mask    vsm.Mask
+	PathAlg vsm.PathAlg
+	Graph   graph.Config
+}
+
+// Dispatcher replays the access stream in global order, runs Stage 1
+// (semantic extraction) once per record, and emits the per-owner events
+// that complete Stages 2-4. It is the single sequencing point of a
+// partitioned deployment; Dispatch is not safe for concurrent use and
+// callers serialize around it.
+type Dispatcher struct {
+	owners int
+	part   Partitioner
+	gcfg   graph.Config
+	ex     *vsm.Extractor
+	window []trace.FileID
+	seq    atomic.Uint64
+}
+
+// NewDispatcher builds a dispatcher; it panics on a non-positive owner
+// count (programmer error, matching core's constructor conventions).
+func NewDispatcher(cfg Config) *Dispatcher {
+	if cfg.Owners < 1 {
+		panic(fmt.Sprintf("partition: owner count %d", cfg.Owners))
+	}
+	part := cfg.Partitioner
+	if part == nil {
+		part = Stripe
+	}
+	ex := vsm.NewExtractor(cfg.Mask)
+	ex.Alg = cfg.PathAlg
+	return &Dispatcher{
+		owners: cfg.Owners,
+		part:   part,
+		gcfg:   cfg.Graph.Normalized(),
+		ex:     ex,
+	}
+}
+
+// Owners reports the partition count.
+func (d *Dispatcher) Owners() int { return d.owners }
+
+// OwnerOf reports which partition owns a file's mined state.
+func (d *Dispatcher) OwnerOf(f trace.FileID) int { return d.part(f, d.owners) }
+
+// Dispatched reports how many records have been sequenced. Safe to read
+// concurrently with Dispatch.
+func (d *Dispatcher) Dispatched() uint64 { return d.seq.Load() }
+
+// Advance claims n sequence numbers without dispatching — the bookkeeping
+// hook for fast paths that bypass event routing (a single-owner ensemble
+// feeding its one Model directly) yet must keep the global counter exact.
+// It returns the last sequence number claimed.
+func (d *Dispatcher) Advance(n uint64) uint64 { return d.seq.Add(n) }
+
+// Dispatch sequences one record and emits its events: the access event to
+// the owner of r.File, then one edge event per lookahead-window slot (most
+// recent first, exactly as graph.Feed assigns LDA credit — a predecessor
+// occupying two slots emits two events, and slots holding the accessed
+// file itself are skipped), each to the owner of its predecessor. It
+// returns the record's global sequence number. Callers must serialize
+// Dispatch calls; emit runs synchronously on the caller's goroutine.
+func (d *Dispatcher) Dispatch(r *trace.Record, emit func(owner int, ev Event)) uint64 {
+	seq := d.seq.Add(1)
+	v := d.ex.Extract(r)
+	emit(d.part(r.File, d.owners), Event{Succ: r.File, Vec: v, Seq: seq, Access: true})
+	for i := len(d.window) - 1; i >= 0; i-- {
+		pred := d.window[i]
+		if pred == r.File {
+			continue
+		}
+		dist := len(d.window) - i // 1 = immediate predecessor
+		credit := 1.0 - float64(dist-1)*d.gcfg.Decrement
+		if credit < d.gcfg.MinAssign {
+			credit = d.gcfg.MinAssign
+		}
+		emit(d.part(pred, d.owners), Event{Pred: pred, Succ: r.File, Credit: credit, Vec: v, Seq: seq})
+	}
+	d.window = append(d.window, r.File)
+	if len(d.window) > d.gcfg.Window {
+		copy(d.window, d.window[1:])
+		d.window = d.window[:d.gcfg.Window]
+	}
+	return seq
+}
+
+// Fan dispatches one record straight to a set of owners, one single-event
+// batch per emission. owners must have length Owners(). It is the simplest
+// composition — suitable for streaming ingestion where each owner applies
+// synchronously; batching callers use Dispatch with their own staging.
+func (d *Dispatcher) Fan(owners []Owner, r *trace.Record) uint64 {
+	var one [1]Event
+	return d.Dispatch(r, func(owner int, ev Event) {
+		one[0] = ev
+		owners[owner].ApplyEvents(one[:])
+	})
+}
+
+// ResetWindow forgets the lookahead window (stream boundary) while keeping
+// the sequence counter.
+func (d *Dispatcher) ResetWindow() { d.window = d.window[:0] }

@@ -1,0 +1,231 @@
+package partition
+
+import (
+	"testing"
+
+	"farmer/internal/graph"
+	"farmer/internal/trace"
+	"farmer/internal/vsm"
+)
+
+func TestPartitionersDeterministicAndInRange(t *testing.T) {
+	for _, part := range []struct {
+		name string
+		fn   Partitioner
+	}{{"stripe", Stripe}, {"hash", Hash}, {"group", Group}} {
+		for f := 0; f < 10000; f++ {
+			for _, n := range []int{1, 2, 3, 4, 7} {
+				a := part.fn(trace.FileID(f), n)
+				b := part.fn(trace.FileID(f), n)
+				if a != b || a < 0 || a >= n {
+					t.Fatalf("%s partitioner broken: f=%d n=%d -> %d,%d", part.name, f, n, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupCoLocatesAdjacentIDs(t *testing.T) {
+	for base := 0; base < 1024; base += GroupSpan {
+		want := Group(trace.FileID(base), 4)
+		for off := 1; off < GroupSpan; off++ {
+			if got := Group(trace.FileID(base+off), 4); got != want {
+				t.Fatalf("file %d on partition %d, run base %d on %d", base+off, got, base, want)
+			}
+		}
+	}
+}
+
+func testRecord(f trace.FileID) trace.Record {
+	return trace.Record{File: f, Path: "/u/a/b", UID: 1, PID: 2}
+}
+
+// recorder captures every emitted event per owner.
+type recorder struct{ evs []Event }
+
+func (r *recorder) ApplyEvents(evs []Event) { r.evs = append(r.evs, evs...) }
+
+func newDispatcher(owners int, part Partitioner) *Dispatcher {
+	return NewDispatcher(Config{
+		Owners:      owners,
+		Partitioner: part,
+		Mask:        vsm.AllPathMask,
+		PathAlg:     vsm.IPA,
+		Graph:       graph.DefaultConfig(),
+	})
+}
+
+// TestDispatchLDACredits: the edge events for one record must mirror
+// graph.Feed's linear decremented assignment — most recent predecessor
+// first at credit 1.0, decremented per step, floored at MinAssign, window
+// duplicates skipped.
+func TestDispatchLDACredits(t *testing.T) {
+	d := newDispatcher(1, nil)
+	owner := &recorder{}
+	for _, f := range []trace.FileID{10, 11, 12} {
+		r := testRecord(f)
+		d.Fan([]Owner{owner}, &r)
+	}
+	owner.evs = nil
+	r := testRecord(13)
+	d.Fan([]Owner{owner}, &r)
+
+	if len(owner.evs) != 4 {
+		t.Fatalf("events = %d, want access + 3 edges", len(owner.evs))
+	}
+	if !owner.evs[0].Access || owner.evs[0].Succ != 13 {
+		t.Fatalf("first event not the access: %+v", owner.evs[0])
+	}
+	wantPred := []trace.FileID{12, 11, 10}
+	wantCredit := []float64{1.0, 0.9, 0.8}
+	for i, ev := range owner.evs[1:] {
+		if ev.Access || ev.Pred != wantPred[i] || ev.Succ != 13 || ev.Credit != wantCredit[i] {
+			t.Fatalf("edge %d = %+v, want pred %d credit %v", i, ev, wantPred[i], wantCredit[i])
+		}
+	}
+}
+
+func TestDispatchSkipsSelfAndTrimsWindow(t *testing.T) {
+	d := newDispatcher(1, nil)
+	owner := &recorder{}
+	for _, f := range []trace.FileID{5, 5} {
+		r := testRecord(f)
+		d.Fan([]Owner{owner}, &r)
+	}
+	edges := 0
+	for _, ev := range owner.evs {
+		if !ev.Access {
+			edges++
+		}
+	}
+	if edges != 0 {
+		t.Fatalf("self-edge emitted: %d edge events", edges)
+	}
+	// Window never exceeds the normalized graph window.
+	for f := trace.FileID(0); f < 20; f++ {
+		r := testRecord(f)
+		d.Fan([]Owner{owner}, &r)
+	}
+	if w := len(d.window); w != d.gcfg.Window {
+		t.Fatalf("window length %d, want %d", w, d.gcfg.Window)
+	}
+}
+
+// TestDispatchRoutesByPartitioner: every event must land on the owner of
+// the state it touches — owner(Succ) for access events, owner(Pred) for
+// edge events — and sequence numbers must be contiguous from 1.
+func TestDispatchRoutesByPartitioner(t *testing.T) {
+	const owners = 4
+	d := newDispatcher(owners, Hash)
+	var seq uint64
+	for f := trace.FileID(0); f < 200; f++ {
+		r := testRecord(f % 37)
+		got := d.Dispatch(&r, func(owner int, ev Event) {
+			key := ev.Succ
+			if !ev.Access {
+				key = ev.Pred
+			}
+			if want := Hash(key, owners); owner != want {
+				t.Fatalf("event %+v routed to %d, want %d", ev, owner, want)
+			}
+		})
+		seq++
+		if got != seq {
+			t.Fatalf("sequence %d, want %d", got, seq)
+		}
+	}
+	if d.Dispatched() != seq {
+		t.Fatalf("Dispatched() = %d, want %d", d.Dispatched(), seq)
+	}
+	if d.Advance(3) != seq+3 {
+		t.Fatalf("Advance did not extend the sequence")
+	}
+}
+
+func TestDispatcherPanicsOnZeroOwners(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero owners")
+		}
+	}()
+	NewDispatcher(Config{Owners: 0})
+}
+
+func TestMailboxFIFOAndDrain(t *testing.T) {
+	mb := NewMailbox(8, nil)
+	for i := 0; i < 5; i++ {
+		mb.Push(Event{Seq: uint64(i + 1)})
+	}
+	var got []Event
+	n := mb.Drain(func(evs []Event) { got = append(got, evs...) })
+	if n != 5 || len(got) != 5 {
+		t.Fatalf("drained %d/%d events", n, len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+	}
+	if mb.Len() != 0 || mb.Drain(func([]Event) { t.Fatal("apply on empty drain") }) != 0 {
+		t.Fatal("mailbox not empty after drain")
+	}
+	if mb.Pushed() != 5 || mb.Dropped() != 0 {
+		t.Fatalf("accounting: pushed %d dropped %d", mb.Pushed(), mb.Dropped())
+	}
+}
+
+// TestMailboxPopReleasesInOrder: Pop hands out single events FIFO and
+// interoperates with Drain (metered delivery).
+func TestMailboxPopReleasesInOrder(t *testing.T) {
+	mb := NewMailbox(8, nil)
+	if _, ok := mb.Pop(); ok {
+		t.Fatal("Pop from empty mailbox succeeded")
+	}
+	mb.Push(Event{Seq: 1}, Event{Seq: 2}, Event{Seq: 3})
+	if ev, ok := mb.Pop(); !ok || ev.Seq != 1 {
+		t.Fatalf("first pop = %+v, %v", ev, ok)
+	}
+	var rest []Event
+	mb.Drain(func(evs []Event) { rest = append(rest, evs...) })
+	if len(rest) != 2 || rest[0].Seq != 2 || rest[1].Seq != 3 {
+		t.Fatalf("drain after pop = %+v", rest)
+	}
+}
+
+// TestMailboxDropOldest: overflow evicts the head, keeps push order, and
+// counts every loss.
+func TestMailboxDropOldest(t *testing.T) {
+	mb := NewMailbox(4, nil)
+	for i := 1; i <= 10; i++ {
+		mb.Push(Event{Seq: uint64(i)})
+	}
+	var got []Event
+	mb.Drain(func(evs []Event) { got = append(got, evs...) })
+	if len(got) != 4 {
+		t.Fatalf("kept %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("slot %d seq %d, want %d (newest survive)", i, ev.Seq, want)
+		}
+	}
+	if mb.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", mb.Dropped())
+	}
+}
+
+// TestMailboxWrapAround: drain after the ring head has wrapped still
+// delivers FIFO.
+func TestMailboxWrapAround(t *testing.T) {
+	mb := NewMailbox(4, nil)
+	mb.Push(Event{Seq: 1}, Event{Seq: 2}, Event{Seq: 3})
+	mb.Drain(func([]Event) {})
+	mb.Push(Event{Seq: 4}, Event{Seq: 5}, Event{Seq: 6}) // wraps
+	var got []Event
+	mb.Drain(func(evs []Event) { got = append(got, evs...) })
+	for i, ev := range got {
+		if ev.Seq != uint64(4+i) {
+			t.Fatalf("wrap drain out of order: %+v", got)
+		}
+	}
+}

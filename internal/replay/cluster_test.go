@@ -1,0 +1,137 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"farmer/internal/core"
+	"farmer/internal/hust"
+	"farmer/internal/kvstore"
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+	"farmer/internal/vsm"
+)
+
+func clusterTrace(t *testing.T, records int) (*trace.Trace, core.Config) {
+	t.Helper()
+	tr, err := tracegen.HP(records).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := core.DefaultConfig()
+	mc.Mask = vsm.DefaultMask(tr.HasPaths)
+	return tr, mc
+}
+
+// TestGlobalClusterBitIdenticalMinedState is the tentpole claim: an
+// n-server cluster mining through the cluster-level dispatcher and
+// inter-MDS mailboxes produces a merged model bit-identical to the
+// paper-exact sequential Model on the same trace — under both the uniform
+// hash placement and the correlation-aware group placement.
+func TestGlobalClusterBitIdenticalMinedState(t *testing.T) {
+	tr, mc := clusterTrace(t, 8000)
+	ref := MineSequential(tr, mc)
+	for _, tc := range []struct {
+		name string
+		part hust.Partitioner
+	}{{"hash", hust.HashPartitioner}, {"group", hust.GroupPartitioner}} {
+		out, err := GlobalCluster(tr, miningHeavyConfig(), 4, tc.part, mc, hust.DefaultGlobalConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := out.Stats.Global
+		if g == nil || g.Fed != uint64(len(tr.Records)) {
+			t.Fatalf("%s: global stats missing or short: %+v", tc.name, g)
+		}
+		if g.MailboxDropped != 0 {
+			t.Fatalf("%s: %d events dropped; equivalence only holds drop-free", tc.name, g.MailboxDropped)
+		}
+		if g.CrossEvents == 0 {
+			t.Fatalf("%s: no cross-MDS traffic — the cluster is not mining globally", tc.name)
+		}
+		if out.Fingerprint != ref {
+			t.Fatalf("%s: cluster mined state %x, sequential reference %x", tc.name, out.Fingerprint, ref)
+		}
+	}
+}
+
+// TestGlobalClusterMergedPersistenceResize: the cluster's ensemble saves
+// once and reloads at other stripe counts with identical predictions — the
+// resize-between-runs story, end to end from a simulated cluster.
+func TestGlobalClusterMergedPersistenceResize(t *testing.T) {
+	tr, mc := clusterTrace(t, 6000)
+	out, err := GlobalCluster(tr, miningHeavyConfig(), 3, hust.HashPartitioner, mc, hust.DefaultGlobalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens := out.Cluster.GlobalMiner()
+	st, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := ens.SaveMerged(st); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 5} {
+		c := mc
+		c.Shards = shards
+		re := core.NewSharded(c)
+		if err := re.LoadMerged(st); err != nil {
+			t.Fatal(err)
+		}
+		if re.Fed() != uint64(len(tr.Records)) {
+			t.Fatalf("shards=%d: fed %d, want %d", shards, re.Fed(), len(tr.Records))
+		}
+		for f := 0; f < tr.FileCount; f++ {
+			id := trace.FileID(f)
+			if !reflect.DeepEqual(ens.Predict(id, 6), re.Predict(id, 6)) {
+				t.Fatalf("shards=%d: predictions differ for file %d", shards, f)
+			}
+		}
+	}
+}
+
+// TestGlobalClusterNoDemandWaitRegression: global mining keeps the demand
+// path clean. Under the mining-heavy profile the per-partition baseline
+// pays mining on every demand request; the global cluster routes it through
+// mailboxes and mining stations, so its demand-weighted queueing delay must
+// be no worse.
+func TestGlobalClusterNoDemandWaitRegression(t *testing.T) {
+	tr, mc := clusterTrace(t, 8000)
+	cfg := miningHeavyConfig()
+	local, err := LocalCluster(tr, cfg, 4, hust.HashPartitioner, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := GlobalCluster(tr, cfg, 4, hust.HashPartitioner, mc, hust.DefaultGlobalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Stats.AvgDemandWait > local.Stats.AvgDemandWait {
+		t.Fatalf("global demand wait %v worse than per-partition baseline %v",
+			global.Stats.AvgDemandWait, local.Stats.AvgDemandWait)
+	}
+	if global.Stats.Demand != local.Stats.Demand {
+		t.Fatalf("demand counts diverge: %d vs %d", global.Stats.Demand, local.Stats.Demand)
+	}
+}
+
+// TestGlobalClusterBoundedMailboxDegradesGracefully: a pathologically tiny
+// mailbox must shed events (counted), not stall or crash, and the run still
+// completes with every demand served.
+func TestGlobalClusterBoundedMailboxDegradesGracefully(t *testing.T) {
+	tr, mc := clusterTrace(t, 4000)
+	gcfg := hust.DefaultGlobalConfig()
+	gcfg.MailboxCap = 2
+	out, err := GlobalCluster(tr, miningHeavyConfig(), 4, hust.HashPartitioner, mc, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Demand != uint64(len(tr.Records)) {
+		t.Fatalf("demand %d, want %d", out.Stats.Demand, len(tr.Records))
+	}
+	if out.Stats.Global.MailboxDropped == 0 {
+		t.Fatal("2-slot mailboxes dropped nothing on a 4k-record trace")
+	}
+}

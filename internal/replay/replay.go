@@ -156,6 +156,48 @@ func Compare(tr *trace.Trace, cfg hust.ReplayConfig, mc core.Config) (Comparison
 	return out, nil
 }
 
+// ClusterOutcome is one multi-MDS cluster replay: the aggregate simulation
+// stats, the merged mined-state fingerprint (0 for per-partition clusters,
+// whose servers mine disjoint local models), and the cluster itself for
+// follow-on persistence or prediction checks.
+type ClusterOutcome struct {
+	Stats       hust.ClusterStats
+	Fingerprint uint64
+	Cluster     *hust.Cluster
+}
+
+// GlobalCluster replays tr through an n-server global-mining cluster
+// (cluster-level dispatcher, inter-MDS mailboxes) and fingerprints the
+// merged model — directly comparable against MineSequential, because a
+// drop-free global cluster mines bit-identical state.
+func GlobalCluster(tr *trace.Trace, cfg hust.ReplayConfig, n int, part hust.Partitioner,
+	mc core.Config, gcfg hust.GlobalConfig) (ClusterOutcome, error) {
+	stats, c, err := hust.ReplayGlobalCluster(tr, cfg, n, part, mc, gcfg)
+	if err != nil {
+		return ClusterOutcome{}, err
+	}
+	return ClusterOutcome{
+		Stats:       stats,
+		Fingerprint: Fingerprint(c.GlobalMiner(), tr.FileCount),
+		Cluster:     c,
+	}, nil
+}
+
+// LocalCluster replays tr through the per-partition baseline: every server
+// runs its own FARMER miner over only the sub-stream it observes (mining on
+// the demand path, as the paper's prototype does).
+func LocalCluster(tr *trace.Trace, cfg hust.ReplayConfig, n int, part hust.Partitioner,
+	mc core.Config) (ClusterOutcome, error) {
+	mc.Shards = 1
+	stats, err := hust.ReplayCluster(tr, cfg, n, part, func(i int, e *sim.Engine) (*hust.MDS, error) {
+		return hust.NewFARMERMDS(e, cfg.MDS, nil, mc)
+	})
+	if err != nil {
+		return ClusterOutcome{}, err
+	}
+	return ClusterOutcome{Stats: stats}, nil
+}
+
 // PipelineOutcome is one RunPipeline execution: the mined-state fingerprint
 // after the concurrent ingest and the pipeline's loss accounting.
 type PipelineOutcome struct {
