@@ -1,49 +1,209 @@
-// Command farmerctl regenerates the paper's figures and tables from the
-// synthetic workloads and the storage-system simulator.
+// Command farmerctl drives the FARMER reproduction from the command line:
+// it regenerates the paper's figures and tables from the synthetic
+// workloads and the storage-system simulator, and it talks to a live
+// farmerd over the wire protocol.
 //
 // Usage:
 //
-//	farmerctl [-records N] [-parallel N] [-shards N] [-servers N] <experiment>...
+//	farmerctl [flags] <experiment>...   regenerate evaluation artifacts
+//	farmerctl serve [flags]             serve a miner on the wire (mini farmerd)
+//	farmerctl ping  [flags]             round-trip a live farmerd and report latency
 //
 // Experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 table3 table4 ablation
 // quality asynclat cluster all. fig3 accepts -trace (default runs all four
 // traces).
+//
+// Every subcommand supports -h, reports errors on stderr prefixed with its
+// name, and exits 0 on success, 1 on runtime failure, 2 on usage errors.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"farmer"
+	"farmer/internal/daemon"
 	"farmer/internal/exp"
 )
 
 func main() {
-	records := flag.Int("records", 30000, "records per generated trace")
-	parallelism := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "FARMER miner shards per MDS (0 = match MDS workers, 1 = single-lock)")
-	servers := flag.Int("servers", 0, "metadata servers in the cluster experiment (0 = default 4)")
-	asyncPrefetch := flag.Bool("async-prefetch", false, "run every simulated MDS with mining/prediction off the demand path")
-	mineTime := flag.Duration("minetime", 0, "modeled per-record mining CPU cost inside each MDS (asynclat defaults to 1ms)")
-	traceName := flag.String("trace", "", "trace for fig3/ablation (LLNL, INS, RES, HP; empty = all/HP)")
-	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() == 0 {
-		usage()
-		os.Exit(2)
+	args := os.Args[1:]
+	var code int
+	switch {
+	case len(args) > 0 && args[0] == "serve":
+		code = runServe(args[1:])
+	case len(args) > 0 && args[0] == "ping":
+		code = runPing(args[1:])
+	default:
+		code = runExperiments(args)
+	}
+	os.Exit(code)
+}
+
+// fail reports a runtime error in the subcommand's name and returns exit
+// code 1; usage mistakes go through usageErr (code 2) instead.
+func fail(cmd string, err error) int {
+	fmt.Fprintf(os.Stderr, "farmerctl %s: %v\n", cmd, err)
+	return 1
+}
+
+func usageErr(fs *flag.FlagSet, format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "farmerctl %s: %s\n", fs.Name(), fmt.Sprintf(format, args...))
+	fs.Usage()
+	return 2
+}
+
+// newFlagSet builds a subcommand flag set with uniform -h/usage text.
+func newFlagSet(name, oneLiner, argsHint string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "%s\n\nusage: farmerctl %s %s\n\nflags:\n", oneLiner, name, argsHint)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+// ------------------------------------------------------------------ serve
+
+func runServe(args []string) int {
+	fs := newFlagSet("serve", "serve a FARMER miner over the wire protocol (a minimal farmerd).", "[flags]")
+	addr := fs.String("addr", "127.0.0.1:4727", "TCP listen address")
+	storePath := fs.String("store", "", "write-ahead log path for persistent mined state")
+	load := fs.Bool("load", false, "restore persisted state from -store at startup")
+	shards := fs.Int("shards", 0, "miner shards (0/1 = single-lock)")
+	partName := fs.String("partition", "stripe", "shard partitioner: stripe, hash or group")
+	checkpoint := fs.Duration("checkpoint", 0, "periodic checkpoint interval (needs -store)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return usageErr(fs, "unexpected arguments %q", fs.Args())
+	}
+
+	err := daemon.Run(context.Background(), daemon.Options{
+		Addr:      *addr,
+		StorePath: *storePath,
+		Load:      *load,
+		Shards:    *shards,
+		Partition: *partName,
+		Ckpt:      *checkpoint,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "farmerctl serve: "+format+"\n", a...)
+		},
+	})
+	if errors.Is(err, daemon.ErrUsage) {
+		return usageErr(fs, "%v", err)
+	}
+	if err != nil {
+		return fail("serve", err)
+	}
+	return 0
+}
+
+// ------------------------------------------------------------------- ping
+
+func runPing(args []string) int {
+	fs := newFlagSet("ping", "round-trip a live farmerd and report wire latency.", "[flags]")
+	addr := fs.String("addr", "127.0.0.1:4727", "farmerd TCP address")
+	count := fs.Int("n", 5, "round trips to time")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-round-trip deadline")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return usageErr(fs, "unexpected arguments %q", fs.Args())
+	}
+	if *count < 1 {
+		return usageErr(fs, "-n %d must be >= 1", *count)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	m, err := farmer.Dial(ctx, *addr)
+	if err != nil {
+		return fail("ping", err)
+	}
+	defer m.Close()
+
+	var min, max, sum time.Duration
+	for i := 0; i < *count; i++ {
+		pctx, pcancel := context.WithTimeout(context.Background(), *timeout)
+		rtt, err := m.Ping(pctx)
+		pcancel()
+		if err != nil {
+			return fail("ping", fmt.Errorf("round trip %d: %w", i+1, err))
+		}
+		if i == 0 || rtt < min {
+			min = rtt
+		}
+		if rtt > max {
+			max = rtt
+		}
+		sum += rtt
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), *timeout)
+	st, err := m.Stats(sctx)
+	scancel()
+	if err != nil {
+		return fail("ping", err)
+	}
+	fmt.Printf("%s: %d round trips, min %v avg %v max %v; miner fed=%d files=%d lists=%d\n",
+		*addr, *count, min, sum/time.Duration(*count), max, st.Fed, st.TrackedFiles, st.Lists)
+	return 0
+}
+
+// ------------------------------------------------------------ experiments
+
+func runExperiments(args []string) int {
+	fs := newFlagSet("", "farmerctl regenerates the FARMER paper's evaluation artifacts.", "[flags] <experiment>...")
+	records := fs.Int("records", 30000, "records per generated trace")
+	parallelism := fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "FARMER miner shards per MDS (0 = match MDS workers, 1 = single-lock)")
+	servers := fs.Int("servers", 0, "metadata servers in the cluster experiment (0 = default 4)")
+	asyncPrefetch := fs.Bool("async-prefetch", false, "run every simulated MDS with mining/prediction off the demand path")
+	mineTime := fs.Duration("minetime", 0, "modeled per-record mining CPU cost inside each MDS (asynclat defaults to 1ms)")
+	traceName := fs.String("trace", "", "trace for fig3/ablation (LLNL, INS, RES, HP; empty = all/HP)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `farmerctl regenerates the FARMER paper's evaluation artifacts
+and talks to a live farmerd.
+
+usage: farmerctl [flags] <experiment>...
+       farmerctl serve [flags]    (see farmerctl serve -h)
+       farmerctl ping [flags]     (see farmerctl ping -h)
+
+experiments:
+  fig1     inter-file access probability per attribute (paper Fig. 1)
+  table2   DPA vs IPA worked example (paper Table 2)
+  fig3     hit ratio vs max_strength for p in {0,0.3,0.7,1} (paper Fig. 3)
+  fig5     hit ratio per attribute combination (paper Fig. 5)
+  fig6     response time vs max_strength on HP (paper Fig. 6)
+  fig7     hit ratio: FARMER vs Nexus vs LRU (paper Fig. 7)
+  fig8     response time: FARMER vs Nexus vs LRU (paper Fig. 8)
+  table3   prefetching accuracy on HP (paper Table 3)
+  table4   space overhead per trace (paper Table 4)
+  ablation filtered vs unfiltered footprint (paper §3.3)
+  quality  mining precision/recall/F1 vs ground truth (core claim)
+  asynclat sync vs async prefetch pipeline demand latency (mining-heavy)
+  cluster  multi-MDS cluster: global vs per-partition mining (-servers)
+  all      everything above
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return usageErr(fs, "no experiment given")
 	}
 	if *shards < 0 {
-		fmt.Fprintf(os.Stderr, "farmerctl: -shards %d is negative\n", *shards)
-		os.Exit(2)
+		return usageErr(fs, "-shards %d is negative", *shards)
 	}
 	if *mineTime < 0 {
-		fmt.Fprintf(os.Stderr, "farmerctl: -minetime %v is negative\n", *mineTime)
-		os.Exit(2)
+		return usageErr(fs, "-minetime %v is negative", *mineTime)
 	}
 	if *servers < 0 {
-		fmt.Fprintf(os.Stderr, "farmerctl: -servers %d is negative\n", *servers)
-		os.Exit(2)
+		return usageErr(fs, "-servers %d is negative", *servers)
 	}
 	opt := exp.Options{
 		Records:        *records,
@@ -54,9 +214,9 @@ func main() {
 		ClusterServers: *servers,
 	}
 
-	args := flag.Args()
-	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "ablation", "quality", "asynclat", "cluster"}
+	cmds := fs.Args()
+	if len(cmds) == 1 && cmds[0] == "all" {
+		cmds = []string{"fig1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "ablation", "quality", "asynclat", "cluster"}
 	}
 
 	var comparison []exp.PolicyRun
@@ -67,7 +227,7 @@ func main() {
 		return comparison
 	}
 
-	for _, cmd := range args {
+	for _, cmd := range cmds {
 		switch strings.ToLower(cmd) {
 		case "fig1":
 			section("Figure 1 — inter-file access probability per attribute conditioning")
@@ -119,38 +279,12 @@ func main() {
 			section(fmt.Sprintf("Ablation — threshold filtering footprint (%s)", tr))
 			fmt.Println(exp.AblationFootprint(opt, tr))
 		default:
-			fmt.Fprintf(os.Stderr, "farmerctl: unknown experiment %q\n", cmd)
-			os.Exit(2)
+			return usageErr(fs, "unknown experiment %q", cmd)
 		}
 	}
+	return 0
 }
 
 func section(title string) {
 	fmt.Printf("== %s ==\n", title)
-}
-
-func usage() {
-	fmt.Fprintf(os.Stderr, `farmerctl regenerates the FARMER paper's evaluation artifacts.
-
-usage: farmerctl [flags] <experiment>...
-
-experiments:
-  fig1     inter-file access probability per attribute (paper Fig. 1)
-  table2   DPA vs IPA worked example (paper Table 2)
-  fig3     hit ratio vs max_strength for p in {0,0.3,0.7,1} (paper Fig. 3)
-  fig5     hit ratio per attribute combination (paper Fig. 5)
-  fig6     response time vs max_strength on HP (paper Fig. 6)
-  fig7     hit ratio: FARMER vs Nexus vs LRU (paper Fig. 7)
-  fig8     response time: FARMER vs Nexus vs LRU (paper Fig. 8)
-  table3   prefetching accuracy on HP (paper Table 3)
-  table4   space overhead per trace (paper Table 4)
-  ablation filtered vs unfiltered footprint (paper §3.3)
-  quality  mining precision/recall/F1 vs ground truth (core claim)
-  asynclat sync vs async prefetch pipeline demand latency (mining-heavy)
-  cluster  multi-MDS cluster: global vs per-partition mining (-servers)
-  all      everything above
-
-flags:
-`)
-	flag.PrintDefaults()
 }

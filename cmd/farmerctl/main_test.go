@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunExperimentsExitCodes(t *testing.T) {
+	if c := runExperiments(nil); c != 2 {
+		t.Fatalf("no experiments: exit %d, want 2", c)
+	}
+	if c := runExperiments([]string{"nonsense"}); c != 2 {
+		t.Fatalf("unknown experiment: exit %d, want 2", c)
+	}
+	if c := runExperiments([]string{"-shards", "-1", "fig1"}); c != 2 {
+		t.Fatalf("negative shards: exit %d, want 2", c)
+	}
+	if c := runExperiments([]string{"-minetime", "-1s", "asynclat"}); c != 2 {
+		t.Fatalf("negative minetime: exit %d, want 2", c)
+	}
+	if c := runExperiments([]string{"-servers", "-3", "cluster"}); c != 2 {
+		t.Fatalf("negative servers: exit %d, want 2", c)
+	}
+	// table2 is the paper's worked example — cheap and deterministic.
+	if c := runExperiments([]string{"table2"}); c != 0 {
+		t.Fatalf("table2: exit %d, want 0", c)
+	}
+}
+
+func TestPingExitCodes(t *testing.T) {
+	if c := runPing([]string{"stray"}); c != 2 {
+		t.Fatalf("stray argument: exit %d, want 2", c)
+	}
+	if c := runPing([]string{"-n", "0"}); c != 2 {
+		t.Fatalf("zero count: exit %d, want 2", c)
+	}
+	if c := runPing([]string{"-addr", "127.0.0.1:1", "-timeout", "500ms"}); c != 1 {
+		t.Fatalf("unreachable server: exit %d, want 1", c)
+	}
+}
+
+func TestServeExitCodes(t *testing.T) {
+	if c := runServe([]string{"stray"}); c != 2 {
+		t.Fatalf("stray argument: exit %d, want 2", c)
+	}
+	if c := runServe([]string{"-partition", "bogus"}); c != 2 {
+		t.Fatalf("bad partitioner: exit %d, want 2", c)
+	}
+	if c := runServe([]string{"-shards", "-1"}); c != 2 {
+		t.Fatalf("negative shards: exit %d, want 2", c)
+	}
+	if c := runServe([]string{"-load"}); c != 2 {
+		t.Fatalf("-load without -store: exit %d, want 2", c)
+	}
+	if c := runServe([]string{"-checkpoint", "1s"}); c != 2 {
+		t.Fatalf("-checkpoint without -store: exit %d, want 2", c)
+	}
+}
+
+// TestServePingLoopback wires the two subcommands together: serve in one
+// goroutine, ping it, SIGTERM the serve, assert both exit zero.
+func TestServePingLoopback(t *testing.T) {
+	const addr = "127.0.0.1:14734"
+	code := make(chan int, 1)
+	go func() { code <- runServe([]string{"-addr", addr, "-shards", "2"}) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if c := runPing([]string{"-addr", addr, "-n", "2", "-timeout", "2s"}); c == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("serve never answered ping")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// runServe registered NotifyContext before blocking, so the signal is
+	// intercepted rather than killing the test binary.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("serve exited %d", c)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not drain on SIGTERM")
+	}
+}

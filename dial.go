@@ -1,0 +1,67 @@
+package farmer
+
+import (
+	"context"
+	"time"
+
+	"farmer/internal/rpc"
+)
+
+// RemoteMiner is a Miner served by a farmerd process reached over the wire
+// protocol (internal/rpc): every call is a pipelined request on one
+// connection, so concurrent callers share the link without head-of-line
+// blocking on each other's round trips. Mined degrees cross the wire as
+// exact float64 bit patterns — a remote miner fingerprints identically to
+// the local miner it serves.
+type RemoteMiner struct {
+	c *rpc.Client
+}
+
+var _ Miner = (*RemoteMiner)(nil)
+
+// Dial connects to a farmerd at a TCP address and returns the remote miner.
+// ctx bounds the connection attempt only; per-call deadlines come from the
+// contexts passed to the Miner methods.
+func Dial(ctx context.Context, addr string) (*RemoteMiner, error) {
+	c, err := rpc.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteMiner{c: c}, nil
+}
+
+// Ping round-trips an empty frame and reports the wall-clock latency — the
+// liveness probe behind `farmerctl ping`.
+func (m *RemoteMiner) Ping(ctx context.Context) (time.Duration, error) { return m.c.Ping(ctx) }
+
+// Feed implements Miner: one record, one acked round trip.
+func (m *RemoteMiner) Feed(ctx context.Context, r *Record) error { return m.c.Feed(ctx, r) }
+
+// FeedBatch implements Miner: the whole batch travels as one frame and the
+// server mines it with all shards in parallel before acking.
+func (m *RemoteMiner) FeedBatch(ctx context.Context, records []Record) error {
+	return m.c.FeedBatch(ctx, records)
+}
+
+// Predict implements Miner.
+func (m *RemoteMiner) Predict(ctx context.Context, f FileID, k int) ([]FileID, error) {
+	return m.c.Predict(ctx, f, k)
+}
+
+// Stats implements Miner.
+func (m *RemoteMiner) Stats(ctx context.Context) (ModelStats, error) { return m.c.Stats(ctx) }
+
+// Save implements Miner: the server checkpoints into its own store.
+func (m *RemoteMiner) Save(ctx context.Context) error { return m.c.Save(ctx) }
+
+// Load implements Miner: the server restores from its own store.
+func (m *RemoteMiner) Load(ctx context.Context) error { return m.c.Load(ctx) }
+
+// CorrelatorList fetches f's full Correlator List with bit-exact degrees —
+// the read the cross-process fingerprint tests use.
+func (m *RemoteMiner) CorrelatorList(ctx context.Context, f FileID) ([]Correlator, error) {
+	return m.c.CorrelatorList(ctx, f)
+}
+
+// Close drains outstanding calls and closes the connection. Idempotent.
+func (m *RemoteMiner) Close() error { return m.c.Close() }

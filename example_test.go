@@ -1,0 +1,113 @@
+package farmer_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"farmer"
+)
+
+// sequence builds a deterministic little workload: the files repeat in
+// order, so every file's strongest successor is the next one in the cycle.
+func sequence(files ...farmer.FileID) []farmer.Record {
+	var recs []farmer.Record
+	for round := 0; round < 12; round++ {
+		for _, f := range files {
+			recs = append(recs, farmer.Record{
+				Seq:  uint64(len(recs)),
+				File: f,
+				UID:  7,
+				PID:  40,
+				Host: 3,
+				Path: fmt.Sprintf("/project/data/%d", f),
+			})
+		}
+	}
+	return recs
+}
+
+// ExampleOpen mines a deterministic access sequence with the option-style
+// constructor and asks for prefetch candidates.
+func ExampleOpen() {
+	miner, err := farmer.Open(farmer.DefaultConfig(), farmer.WithShards(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer miner.Close()
+
+	ctx := context.Background()
+	if err := miner.FeedBatch(ctx, sequence(1, 2, 3)); err != nil {
+		log.Fatal(err)
+	}
+	next, err := miner.Predict(ctx, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after file 1, prefetch:", next)
+	// Output: after file 1, prefetch: [2 3]
+}
+
+// ExampleDial serves a miner on a loopback listener with Serve and talks to
+// it through the remote Miner that Dial returns — the same calls a program
+// would make against a farmerd daemon.
+func ExampleDial() {
+	server, err := farmer.Open(farmer.DefaultConfig(), farmer.WithShards(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- farmer.Serve(ctx, lis, server, farmer.ServeConfig{}) }()
+
+	miner, err := farmer.Dial(context.Background(), lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := miner.FeedBatch(context.Background(), sequence(1, 2, 3)); err != nil {
+		log.Fatal(err)
+	}
+	next, err := miner.Predict(context.Background(), 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after file 2, prefetch:", next)
+
+	miner.Close()
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	server.Close()
+	// Output: after file 2, prefetch: [3]
+}
+
+// ExampleMiner shows why the interface exists: the same function serves
+// predictions from an in-process miner and from a remote one.
+func ExampleMiner() {
+	hottest := func(m farmer.Miner, f farmer.FileID) []farmer.FileID {
+		next, err := m.Predict(context.Background(), f, 2)
+		if err != nil {
+			return nil
+		}
+		return next
+	}
+
+	local, err := farmer.Open(farmer.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer local.Close()
+	if err := local.FeedBatch(context.Background(), sequence(4, 5, 6)); err != nil {
+		log.Fatal(err)
+	}
+
+	// hottest works unchanged against a farmer.Dial client.
+	fmt.Println("correlated with 4:", hottest(local, 4))
+	// Output: correlated with 4: [5 6]
+}

@@ -6,11 +6,24 @@
 //
 // # Quick start
 //
-//	model := farmer.New(farmer.DefaultConfig())
-//	for _, r := range workload.Records {
-//		model.Feed(&r)
+//	miner, err := farmer.Open(farmer.DefaultConfig(), farmer.WithShards(4))
+//	if err != nil { ... }
+//	defer miner.Close()
+//	ctx := context.Background()
+//	for i := range workload.Records {
+//		_ = miner.Feed(ctx, &workload.Records[i])
 //	}
-//	next := model.Predict(fileID, 4) // prefetch candidates, strongest first
+//	next, _ := miner.Predict(ctx, fileID, 4) // prefetch candidates, strongest first
+//
+// Open returns a Miner — the one interface every deployment shape
+// implements. The same program talks to a remote farmerd daemon by
+// swapping Open for Dial:
+//
+//	miner, err := farmer.Dial(ctx, "127.0.0.1:4727")
+//
+// and serves its own miner on the wire with Serve. The deprecated
+// panic-on-error constructors (New, NewSharded, NewClusterMiner) remain as
+// thin wrappers for existing callers.
 //
 // The model combines semantic-attribute similarity (Vector Space Model over
 // user/process/host/path attributes) with access-sequence frequency (linear
@@ -25,6 +38,8 @@
 package farmer
 
 import (
+	"fmt"
+
 	"farmer/internal/core"
 	"farmer/internal/graph"
 	"farmer/internal/kvstore"
@@ -93,7 +108,8 @@ type (
 // Predict/prefetch pipeline: per-shard consumers, a bounded drop-oldest
 // candidate queue, and a submit loop feeding sink. Backpressure sheds
 // prefetch coverage, never ingestion latency. Stop the returned pipeline
-// to drain and detach it.
+// to drain and detach it. New code can attach the pipeline at Open with
+// WithPrefetcher instead.
 func StartPrefetcher(m *ShardedModel, sink PrefetchSink, cfg PrefetchConfig) *Prefetcher {
 	return prefetch.Start(m, sink, cfg)
 }
@@ -106,6 +122,22 @@ type (
 	// Partitioner maps a file to one of n partition owners.
 	Partitioner = partition.Partitioner
 )
+
+// PartitionerByName maps a configuration name ("stripe", "hash", "group")
+// to the stock partitioner — the shared flag parser behind farmerd and
+// farmerctl serve.
+func PartitionerByName(name string) (Partitioner, error) {
+	switch name {
+	case "stripe":
+		return StripePartitioner, nil
+	case "hash":
+		return HashPartitioner, nil
+	case "group":
+		return GroupPartitioner, nil
+	default:
+		return nil, fmt.Errorf("farmer: unknown partitioner %q (stripe, hash or group)", name)
+	}
+}
 
 // Stock partitioners.
 var (
@@ -126,8 +158,16 @@ var (
 type Store = kvstore.Store
 
 // OpenStore creates or recovers a store whose write-ahead log lives at
-// path; an empty path yields a volatile in-memory store.
+// path; an empty path yields a volatile in-memory store. A log that fails
+// CRC or framing checks anywhere — truncated tail included — is refused
+// (never silently half-loaded); RepairStore truncates it at the last intact
+// record when losing the tail is acceptable.
 func OpenStore(path string) (*Store, error) { return kvstore.Open(path) }
+
+// RepairStore truncates a store's write-ahead log after its last intact
+// record, dropping the corrupt or torn suffix OpenStore refuses to load. It
+// returns how many records survive and how many bytes were cut.
+func RepairStore(path string) (kept int, dropped int64, err error) { return kvstore.Repair(path) }
 
 // NewClusterMiner creates the collective miner of an n-server partitioned
 // deployment: a ShardedModel whose stripes are the deployment's partitions
@@ -137,9 +177,21 @@ func OpenStore(path string) (*Store, error) { return kvstore.Open(path) }
 // with ShardedModel.SaveMerged and restore at a different server count or
 // partitioner with LoadMerged: the load rebalances every file onto its new
 // owner, so a cluster can be resized between runs. cfg.Shards is ignored;
-// servers wins. Panics on an invalid configuration, like New.
+// servers wins.
+//
+// Deprecated: use Open with WithShards(servers) and WithPartitioner(part),
+// which returns errors instead of panicking; this wrapper delegates to the
+// same validated path.
 func NewClusterMiner(cfg Config, servers int, part Partitioner) *ShardedModel {
-	return core.NewShardedPartitioned(cfg, servers, part)
+	if servers < 1 {
+		panic(fmt.Sprintf("farmer: cluster size %d", servers))
+	}
+	cfg.Shards = servers
+	m, err := Open(cfg, WithPartitioner(part))
+	if err != nil {
+		panic(err)
+	}
+	return m.Sharded()
 }
 
 // Semantic attribute machinery, re-exported.
@@ -160,7 +212,11 @@ const (
 	AttrDevice  = vsm.AttrDevice
 )
 
-// New creates a FARMER model. It panics on an invalid configuration; use
+// New creates a FARMER model.
+//
+// Deprecated: use Open, which returns errors instead of panicking and
+// yields the Miner interface; this wrapper remains for callers that want
+// the bare single-lock Model. It panics on an invalid configuration; use
 // Config.Validate to check first.
 func New(cfg Config) *Model { return core.New(cfg) }
 
@@ -168,8 +224,18 @@ func New(cfg Config) *Model { return core.New(cfg) }
 // partitions (0 and 1 both mean unsharded, preserving Model's exact
 // behavior). FeedBatch/FeedTraceParallel mine with all shards in parallel
 // and still produce the same state a single Model reaches feeding the same
-// records in order. Like New it panics on an invalid configuration.
-func NewSharded(cfg Config) *ShardedModel { return core.NewSharded(cfg) }
+// records in order.
+//
+// Deprecated: use Open, which returns errors instead of panicking. This
+// wrapper delegates to the same validated path and panics on an invalid
+// configuration, as it always has.
+func NewSharded(cfg Config) *ShardedModel {
+	m, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m.Sharded()
+}
 
 // DefaultConfig returns the paper's chosen parameters: weight p = 0.7,
 // max_strength = 0.4, IPA path handling, window-3 linear decremented

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -66,10 +67,10 @@ func DefaultConfig() Config {
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if c.Weight < 0 || c.Weight > 1 {
+	if math.IsNaN(c.Weight) || c.Weight < 0 || c.Weight > 1 {
 		return fmt.Errorf("core: weight p = %v outside [0,1]", c.Weight)
 	}
-	if c.MaxStrength < 0 || c.MaxStrength > 1 {
+	if math.IsNaN(c.MaxStrength) || c.MaxStrength < 0 || c.MaxStrength > 1 {
 		return fmt.Errorf("core: max_strength = %v outside [0,1]", c.MaxStrength)
 	}
 	if c.MaxCorrelators < 0 {

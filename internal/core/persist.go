@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 
 	"farmer/internal/kvstore"
@@ -29,6 +30,16 @@ const (
 	keyConfig       = "m/config"
 )
 
+// prefixEnd returns the exclusive upper Scan bound covering every key that
+// starts with prefix: the prefix with its last byte incremented. (The old
+// prefix+"\xff" bound excluded keys whose FileID top byte is 0xff — those
+// sort after "\xff" itself — silently losing files >= 0xff000000 on reload.)
+func prefixEnd(prefix string) []byte {
+	end := []byte(prefix)
+	end[len(end)-1]++
+	return end
+}
+
 func listKey(f trace.FileID) []byte {
 	k := make([]byte, len(keyPrefixList)+4)
 	copy(k, keyPrefixList)
@@ -44,9 +55,16 @@ func vectorKey(f trace.FileID) []byte {
 }
 
 // SaveTo writes the model's mined state (Correlator Lists, semantic vectors
-// and the tunables needed to keep mining) into the store.
+// and the tunables needed to keep mining) into the store. Repeated saves
+// into the same store are checkpoints: stale keys from a previous save —
+// lists the threshold filter has since dropped — are pruned, so the store
+// always holds exactly the model's current state.
 func (m *Model) SaveTo(s *kvstore.Store) error {
-	if err := m.saveState(s); err != nil {
+	saved := newSavedKeys()
+	if err := m.saveState(s, saved); err != nil {
+		return err
+	}
+	if err := saved.prune(s); err != nil {
 		return err
 	}
 	m.mu.RLock()
@@ -55,9 +73,46 @@ func (m *Model) SaveTo(s *kvstore.Store) error {
 	return saveConfig(s, m.cfg.Weight, m.cfg.MaxStrength, fed)
 }
 
+// savedKeys tracks which list/vector keys a checkpoint wrote, so prune can
+// delete the store's leftovers from earlier checkpoints (a list dropped by
+// the validity filter must not resurrect on reload).
+type savedKeys struct {
+	lists map[trace.FileID]struct{}
+	vecs  map[trace.FileID]struct{}
+}
+
+func newSavedKeys() *savedKeys {
+	return &savedKeys{lists: make(map[trace.FileID]struct{}), vecs: make(map[trace.FileID]struct{})}
+}
+
+func (sk *savedKeys) prune(s *kvstore.Store) error {
+	var stale [][]byte
+	collect := func(prefix string, keep map[trace.FileID]struct{}) {
+		s.Scan([]byte(prefix), prefixEnd(prefix), func(k, v []byte) bool {
+			if len(k) == len(prefix)+4 {
+				f := trace.FileID(binary.BigEndian.Uint32(k[len(prefix):]))
+				if _, ok := keep[f]; ok {
+					return true
+				}
+			}
+			stale = append(stale, append([]byte(nil), k...))
+			return true
+		})
+	}
+	collect(keyPrefixList, sk.lists)
+	collect(keyPrefixVector, sk.vecs)
+	for _, k := range stale {
+		if err := s.Delete(k); err != nil {
+			return fmt.Errorf("core: pruning stale key %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
 // saveState writes the model's lists and vectors (no config record) — the
-// per-shard half of a merged ensemble save.
-func (m *Model) saveState(s *kvstore.Store) error {
+// per-shard half of a merged ensemble save — recording each written key in
+// saved for the caller's prune.
+func (m *Model) saveState(s *kvstore.Store, saved *savedKeys) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 
@@ -81,6 +136,7 @@ func (m *Model) saveState(s *kvstore.Store) error {
 		if err := s.Put(listKey(f), buf.Bytes()); err != nil {
 			return fmt.Errorf("core: saving list %d: %w", f, err)
 		}
+		saved.lists[f] = struct{}{}
 	}
 	for f, v := range m.vectors {
 		buf.Reset()
@@ -92,6 +148,7 @@ func (m *Model) saveState(s *kvstore.Store) error {
 		if err := s.Put(vectorKey(f), buf.Bytes()); err != nil {
 			return fmt.Errorf("core: saving vector %d: %w", f, err)
 		}
+		saved.vecs[f] = struct{}{}
 	}
 	return nil
 }
@@ -165,7 +222,7 @@ func (m *Model) LoadFrom(s *kvstore.Store) error {
 // (per-owning-shard) load paths.
 func scanState(s *kvstore.Store, putList func(trace.FileID, []Correlator), putVec func(trace.FileID, vsm.Vector)) error {
 	var loadErr error
-	s.Scan([]byte(keyPrefixList), []byte(keyPrefixList+"\xff"), func(k, v []byte) bool {
+	s.Scan([]byte(keyPrefixList), prefixEnd(keyPrefixList), func(k, v []byte) bool {
 		if len(k) != len(keyPrefixList)+4 {
 			loadErr = fmt.Errorf("core: bad list key %q", k)
 			return false
@@ -182,7 +239,7 @@ func scanState(s *kvstore.Store, putList func(trace.FileID, []Correlator), putVe
 	if loadErr != nil {
 		return loadErr
 	}
-	s.Scan([]byte(keyPrefixVector), []byte(keyPrefixVector+"\xff"), func(k, v []byte) bool {
+	s.Scan([]byte(keyPrefixVector), prefixEnd(keyPrefixVector), func(k, v []byte) bool {
 		if len(k) != len(keyPrefixVector)+4 {
 			loadErr = fmt.Errorf("core: bad vector key %q", k)
 			return false
@@ -205,18 +262,33 @@ func scanState(s *kvstore.Store, putList func(trace.FileID, []Correlator), putVe
 // mining the same stream would save: a merged save is loadable by
 // Model.LoadFrom, and by LoadMerged at ANY stripe count or partitioner —
 // the persistence half of resizing a cluster between runs.
+//
+// SaveMerged holds the dispatch lock, so a checkpoint taken while other
+// goroutines Feed captures a consistent cut of the stream: state and the
+// fed counter as of some exact record boundary, never a snapshot torn
+// across shards. Like a previous save's checkpoint, stale keys are pruned.
+// (Events applied through ApplyExternal bypass the local dispatcher; a
+// server mined remotely should quiesce its owner before checkpointing.)
 func (s *ShardedModel) SaveMerged(st *kvstore.Store) error {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	saved := newSavedKeys()
 	for _, m := range s.shards {
-		if err := m.saveState(st); err != nil {
+		if err := m.saveState(st, saved); err != nil {
 			return err
 		}
 	}
-	return saveConfig(st, s.cfg.Weight, s.cfg.MaxStrength, s.Fed())
+	if err := saved.prune(st); err != nil {
+		return err
+	}
+	return saveConfig(st, s.cfg.Weight, s.cfg.MaxStrength, s.disp.Dispatched())
 }
 
-// LoadMerged restores a merged save into a freshly-constructed ensemble,
-// rebalancing every list and vector onto the shard the ensemble's current
-// partitioner assigns it to. The stripe count and partitioner may differ
+// LoadMerged restores a merged save into a freshly-constructed ensemble —
+// enforced: an ensemble that has already ingested refuses the load (it
+// would merge two models and double-count the fed counter) — rebalancing
+// every list and vector onto the shard the ensemble's current partitioner
+// assigns it to. The stripe count and partitioner may differ
 // freely from the ones that produced the save (that is the point); the
 // mining parameters must match, as in LoadFrom. Predictions after a load
 // are identical at any stripe count.
@@ -231,7 +303,16 @@ func (s *ShardedModel) LoadMerged(st *kvstore.Store) error {
 	}
 	// Route while decoding, install each shard under one lock — readers
 	// observe the usual consistent-per-shard snapshot, never a shard caught
-	// mid-restore.
+	// mid-restore. The dispatch lock excludes concurrent feeding for the
+	// whole install, so the restored counter and state land atomically —
+	// and the freshness check below cannot race a Feed (checking outside
+	// the lock would let a record slip in between check and install,
+	// merging models and double-counting the fed counter).
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	if fedNow := s.disp.Dispatched(); fedNow > 0 {
+		return fmt.Errorf("core: cannot load into an ensemble that has already ingested %d records", fedNow)
+	}
 	n := len(s.shards)
 	lists := make([]map[trace.FileID][]Correlator, n)
 	vecs := make([]map[trace.FileID]vsm.Vector, n)
@@ -317,7 +398,9 @@ func decodeVector(raw []byte) (vsm.Vector, error) {
 			return "", fmt.Errorf("string length %d exceeds remaining %d", l, r.Len())
 		}
 		b := make([]byte, l)
-		if _, err := r.Read(b); err != nil {
+		// io.ReadFull, not r.Read: an empty string at the end of the value
+		// (every vector of a pathless trace) must decode as "", not EOF.
+		if _, err := io.ReadFull(r, b); err != nil {
 			return "", err
 		}
 		return string(b), nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -287,5 +288,223 @@ func TestDecodeListRejectsGarbage(t *testing.T) {
 func TestDecodeVectorRejectsGarbage(t *testing.T) {
 	if _, err := decodeVector([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
 		t.Fatal("garbage vector accepted")
+	}
+}
+
+// TestSaveLoadPathlessTrace: vectors of a pathless (INS/RES-style) trace
+// end with an empty path string; decoding it at the end of the value must
+// yield "", not EOF. Regression test — every pathless load failed before
+// the io.ReadFull fix in decodeVector.
+func TestSaveLoadPathlessTrace(t *testing.T) {
+	tr := tracegen.INS(3000).MustGenerate()
+	cfg := DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(false)
+	m := New(cfg)
+	m.FeedTrace(tr)
+
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(cfg)
+	if err := m2.LoadFrom(s); err != nil {
+		t.Fatalf("pathless load: %v", err)
+	}
+	for f := 0; f < tr.FileCount; f++ {
+		if !reflect.DeepEqual(m.CorrelatorList(trace.FileID(f)), m2.CorrelatorList(trace.FileID(f))) {
+			t.Fatalf("file %d list differs after pathless round trip", f)
+		}
+	}
+}
+
+// TestLoadMergedRejectsCorruptValues: a store whose frames are intact but
+// whose values are garbage must fail the load with an error — never panic,
+// never install a half-decoded model.
+func TestLoadMergedRejectsCorruptValues(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		key  []byte
+		val  []byte
+	}{
+		{"garbage list", listKey(7), []byte{0xff, 0xff, 0xff, 0xff}},
+		{"truncated list", listKey(7), []byte{2, 0, 0, 0, 1}},
+		{"garbage vector", vectorKey(9), []byte{0xff, 0xff, 0xff, 0xff}},
+		{"truncated vector", vectorKey(9), []byte{1, 0, 0, 0, 5, 0, 0, 0, 'a'}},
+		{"bad list key", append([]byte(keyPrefixList), 1, 2), []byte{0, 0, 0, 0}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := minedHP(t, 2000)
+			s, err := kvstore.Open("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if err := m.SaveTo(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(tc.key, tc.val); err != nil {
+				t.Fatal(err)
+			}
+
+			sm := NewSharded(DefaultConfig())
+			if err := sm.LoadMerged(s); err == nil {
+				t.Fatal("LoadMerged accepted a corrupt value")
+			}
+			m2 := New(DefaultConfig())
+			if err := m2.LoadFrom(s); err == nil {
+				t.Fatal("LoadFrom accepted a corrupt value")
+			}
+		})
+	}
+}
+
+// TestCheckpointPrunesStaleKeys: state dropped between checkpoints (a list
+// the validity filter removed) must not resurrect on reload from the later
+// checkpoint.
+func TestCheckpointPrunesStaleKeys(t *testing.T) {
+	m := minedHP(t, 4000)
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop one mined list and one vector, as the threshold filter would.
+	var victim trace.FileID
+	m.mu.Lock()
+	for f := range m.lists {
+		victim = f
+		break
+	}
+	delete(m.lists, victim)
+	delete(m.vectors, victim)
+	m.mu.Unlock()
+
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(m.Config())
+	if err := m2.LoadFrom(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.CorrelatorList(victim); got != nil {
+		t.Fatalf("dropped list %d resurrected from checkpoint: %v", victim, got)
+	}
+	if _, ok := m2.Vector(victim); ok {
+		t.Fatalf("dropped vector %d resurrected from checkpoint", victim)
+	}
+}
+
+// TestSaveMergedPrunesStaleKeys: same contract for the ensemble checkpoint.
+func TestSaveMergedPrunesStaleKeys(t *testing.T) {
+	tr := tracegen.HP(4000).MustGenerate()
+	cfg := DefaultConfig()
+	cfg.Shards = 3
+	sm := NewSharded(cfg)
+	sm.FeedTraceParallel(tr)
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := sm.SaveMerged(s); err != nil {
+		t.Fatal(err)
+	}
+	var victim trace.FileID
+	found := false
+	for f := 0; f < tr.FileCount && !found; f++ {
+		if len(sm.CorrelatorList(trace.FileID(f))) > 0 {
+			victim = trace.FileID(f)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no mined list to drop")
+	}
+	sh := sm.shardFor(victim)
+	sh.mu.Lock()
+	delete(sh.lists, victim)
+	sh.mu.Unlock()
+
+	if err := sm.SaveMerged(s); err != nil {
+		t.Fatal(err)
+	}
+	sm2 := NewSharded(cfg)
+	if err := sm2.LoadMerged(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := sm2.CorrelatorList(victim); got != nil {
+		t.Fatalf("dropped list %d resurrected from merged checkpoint: %v", victim, got)
+	}
+}
+
+// TestSaveLoadHighFileIDs: FileIDs with a 0xff top byte sort after the old
+// "prefix\xff" scan bound; they must survive a save/load round trip like
+// any other id (regression test for the prefixEnd fix).
+func TestSaveLoadHighFileIDs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(true)
+	m := New(cfg)
+	ids := []trace.FileID{0xff000001, 0xff000002, 0xfffffffe, 1, 2}
+	for round := 0; round < 20; round++ {
+		for i, f := range ids {
+			m.Feed(&trace.Record{Seq: uint64(round*len(ids) + i), File: f, UID: 7, PID: 9, Host: 1, Path: fmt.Sprintf("/hi/%d", f)})
+		}
+	}
+	if len(m.CorrelatorList(0xff000001)) == 0 {
+		t.Fatal("test premise broken: no mined list for the high id")
+	}
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(cfg)
+	if err := m2.LoadFrom(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ids {
+		if !reflect.DeepEqual(m.CorrelatorList(f), m2.CorrelatorList(f)) {
+			t.Fatalf("file %#x lost or changed across save/load", f)
+		}
+		if _, ok := m2.Vector(f); !ok {
+			t.Fatalf("vector %#x lost across save/load", f)
+		}
+	}
+}
+
+// TestLoadMergedRefusesFedEnsemble: the freshness check runs under the
+// dispatch lock, so a load can never interleave with feeding.
+func TestLoadMergedRefusesFedEnsemble(t *testing.T) {
+	m := minedHP(t, 2000)
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(true)
+	cfg.Shards = 2
+	sm := NewSharded(cfg)
+	r := trace.Record{File: 1, Path: "/x"}
+	sm.Feed(&r)
+	if err := sm.LoadMerged(s); err == nil {
+		t.Fatal("LoadMerged accepted an ensemble that already ingested")
+	}
+	if sm.Fed() != 1 {
+		t.Fatalf("refused load disturbed the fed counter: %d", sm.Fed())
 	}
 }

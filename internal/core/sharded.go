@@ -144,21 +144,19 @@ func (s *ShardedModel) shardFor(f trace.FileID) *Model {
 // shard's lock.
 func (s *ShardedModel) Feed(r *trace.Record) {
 	if len(s.shards) == 1 {
-		if s.tapCount.Load() == 0 {
-			s.shards[0].Feed(r)
-			s.disp.Advance(1)
-			return
-		}
-		// dmu keeps seq assignment and tap publication atomic so the tap's
-		// single-publisher FIFO invariant holds for concurrent callers; the
-		// feeds themselves would serialize on the one shard's lock anyway.
-		// (A feed racing tap registration may bypass publication — Tap only
-		// promises events for records ingested after it returns.)
+		// dmu keeps seq assignment (and tap publication, when anyone
+		// listens) atomic with the feed, so concurrent callers keep the
+		// tap's single-publisher FIFO invariant and a checkpoint taken
+		// under dmu sees state and counter at an exact record boundary.
+		// (A feed racing tap registration may bypass publication — Tap
+		// only promises events for records ingested after it returns.)
 		s.dmu.Lock()
 		defer s.dmu.Unlock()
 		s.shards[0].Feed(r)
 		seq := s.disp.Advance(1)
-		s.publish(0, TapEvent{Seq: seq, File: r.File, Shard: 0})
+		if s.tapCount.Load() != 0 {
+			s.publish(0, TapEvent{Seq: seq, File: r.File, Shard: 0})
+		}
 		return
 	}
 	s.dmu.Lock()
@@ -186,6 +184,45 @@ func (s *ShardedModel) DispatchExternal(r *trace.Record, emit func(owner int, ev
 	return s.disp.Dispatch(r, emit)
 }
 
+// ApplyExternal applies events produced by another process's dispatcher
+// (its DispatchExternal hook, shipped over a transport) to this ensemble —
+// the receiving half of a cross-process deployment. Each event is routed to
+// the shard owning the state it touches: access events by Succ, edge events
+// by Pred, so a server may stripe internally however it likes while the
+// remote dispatcher sees it as one owner. Relative order is preserved per
+// shard within and across calls from one goroutine; callers must deliver
+// batches in emission order (one rpc connection's FIFO suffices) for the
+// mined state to stay bit-identical to a locally fed ensemble. The local
+// dispatcher's window and sequence are not consulted or advanced — the
+// remote dispatcher owns both.
+func (s *ShardedModel) ApplyExternal(evs []partition.Event) {
+	if len(s.shards) == 1 {
+		s.shards[0].ApplyEvents(evs)
+		return
+	}
+	// Group per shard, preserving each shard's relative order.
+	for lo := 0; lo < len(evs); {
+		key := evs[lo].Pred
+		if evs[lo].Access {
+			key = evs[lo].Succ
+		}
+		owner := s.ownerOf(key)
+		hi := lo + 1
+		for hi < len(evs) {
+			k := evs[hi].Pred
+			if evs[hi].Access {
+				k = evs[hi].Succ
+			}
+			if s.ownerOf(k) != owner {
+				break
+			}
+			hi++
+		}
+		s.shards[owner].ApplyEvents(evs[lo:hi])
+		lo = hi
+	}
+}
+
 // eventChunk sizes the batches of events shipped to a shard worker: large
 // enough to amortize channel and lock traffic, small enough to keep all
 // shards busy on modest batches.
@@ -201,6 +238,8 @@ func (s *ShardedModel) FeedBatch(records []trace.Record) {
 		return
 	}
 	if len(s.shards) == 1 {
+		s.dmu.Lock()
+		defer s.dmu.Unlock()
 		if s.tapCount.Load() == 0 {
 			for i := range records {
 				s.shards[0].Feed(&records[i])
@@ -208,8 +247,6 @@ func (s *ShardedModel) FeedBatch(records []trace.Record) {
 			s.disp.Advance(uint64(len(records)))
 			return
 		}
-		s.dmu.Lock()
-		defer s.dmu.Unlock()
 		for i := range records {
 			s.shards[0].Feed(&records[i])
 			seq := s.disp.Advance(1)

@@ -205,6 +205,11 @@ func TestTapConcurrentCloseUnderIngest(t *testing.T) {
 		}(i)
 	}
 	sm.FeedTraceParallel(tr)
+	// The mid-stream Close usually fired from the shard-0 consumer above;
+	// on a starved (single-CPU, loaded) runner that consumer may have seen
+	// fewer than 10 events, so close unconditionally — Close is idempotent
+	// — or the consumers would range forever.
+	tap.Close()
 	wg.Wait()
 	close(seen)
 	total := 0

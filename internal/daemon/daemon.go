@@ -1,0 +1,126 @@
+// Package daemon is the shared serve bootstrap behind cmd/farmerd and
+// `farmerctl serve`: flag-level validation, store repair/open/load, the
+// listener, signal-driven graceful drain, and prefetch-pipeline accounting
+// live here once, so the two command-line entry points cannot drift.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"farmer"
+)
+
+// ErrUsage marks option mistakes the commands report as exit code 2.
+var ErrUsage = errors.New("usage error")
+
+// Options parameterises one serving daemon. Zero values mean the feature is
+// off; Weight/Strength zero means the paper default.
+type Options struct {
+	Addr      string        // TCP listen address (required)
+	StorePath string        // WAL path; "" = volatile miner
+	Load      bool          // restore persisted state at startup (needs StorePath)
+	Repair    bool          // truncate a corrupt WAL before opening (needs StorePath)
+	Shards    int           // miner stripes (0/1 = single-lock)
+	Partition string        // "stripe", "hash" or "group" ("" = stripe)
+	Ckpt      time.Duration // periodic checkpoint interval (needs StorePath)
+	PrefetchK int           // attach the async prefetch pipeline (0 = off)
+	Weight    *float64      // correlation weight p (nil = paper default)
+	Strength  *float64      // max_strength threshold (nil = paper default)
+	Drain     time.Duration // graceful shutdown bound (0 = Serve default)
+	Logf      func(format string, args ...any)
+}
+
+// Run serves a miner built from o until SIGINT/SIGTERM (or ctx cancels),
+// then drains gracefully. Errors wrapping ErrUsage are option mistakes;
+// everything else is a runtime failure.
+func Run(ctx context.Context, o Options) error {
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if o.StorePath == "" {
+		switch {
+		case o.Load:
+			return fmt.Errorf("%w: -load requires -store", ErrUsage)
+		case o.Repair:
+			return fmt.Errorf("%w: -repair requires -store", ErrUsage)
+		case o.Ckpt > 0:
+			return fmt.Errorf("%w: -checkpoint requires -store", ErrUsage)
+		}
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("%w: -shards %d is negative", ErrUsage, o.Shards)
+	}
+	if o.Partition == "" {
+		o.Partition = "stripe"
+	}
+	part, err := farmer.PartitionerByName(o.Partition)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUsage, err)
+	}
+
+	cfg := farmer.DefaultConfig()
+	if o.Weight != nil {
+		cfg.Weight = *o.Weight
+	}
+	if o.Strength != nil {
+		cfg.MaxStrength = *o.Strength
+	}
+
+	if o.Repair {
+		kept, dropped, err := farmer.RepairStore(o.StorePath)
+		if err != nil {
+			return fmt.Errorf("repairing store: %w", err)
+		}
+		if dropped > 0 {
+			logf("repaired %s: kept %d records, dropped %d corrupt tail bytes", o.StorePath, kept, dropped)
+		}
+	}
+
+	opts := []farmer.Option{farmer.WithShards(o.Shards), farmer.WithPartitioner(part)}
+	if o.StorePath != "" {
+		opts = append(opts, farmer.WithStore(o.StorePath))
+		if o.Load {
+			opts = append(opts, farmer.WithLoad())
+		}
+	}
+	if o.PrefetchK > 0 {
+		opts = append(opts, farmer.WithPrefetcher(nil, farmer.PrefetchConfig{K: o.PrefetchK}))
+	}
+	miner, err := farmer.Open(cfg, opts...)
+	if err != nil {
+		return err
+	}
+	defer miner.Close()
+
+	lis, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	logf("serving on %s (shards=%d partition=%s store=%q)", lis.Addr(), o.Shards, o.Partition, o.StorePath)
+
+	sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = farmer.Serve(sctx, lis, miner, farmer.ServeConfig{
+		Checkpoint:   o.Ckpt,
+		DrainTimeout: o.Drain,
+	})
+	if pf := miner.Prefetcher(); pf != nil {
+		pf.Stop()
+		st := pf.Stats()
+		logf("prefetch pipeline: %d events, %d predicted, %d submitted, %d dropped",
+			st.Events, st.Predicted, st.Submitted, st.TapDropped+st.QueueDropped)
+	}
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	logf("drained cleanly")
+	return nil
+}

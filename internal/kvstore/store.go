@@ -14,14 +14,24 @@ import (
 // Store is a durable ordered key-value store: an in-memory B-tree fronted by
 // a CRC-framed write-ahead log. It is safe for concurrent use.
 type Store struct {
-	mu   sync.RWMutex
-	tree *btree
-	wal  *walWriter // nil for a purely in-memory store
-	path string
+	mu     sync.RWMutex
+	tree   *btree
+	wal    *walWriter // nil for a purely in-memory store
+	walErr error      // set when the WAL was lost (failed compaction); mutations refuse
+	path   string
 }
 
+// ErrCorruptWAL reports that recovery met a frame whose CRC, structure or
+// length does not check out — a truncated tail or a bit flip. Open refuses
+// the store rather than silently loading the prefix; Repair truncates the
+// log at the last intact record when the operator decides that loss is
+// acceptable.
+var ErrCorruptWAL = errors.New("kvstore: corrupt or truncated wal")
+
 // Open creates or recovers a store whose WAL lives at path. An empty path
-// yields a volatile in-memory store.
+// yields a volatile in-memory store. A WAL that fails CRC or framing checks
+// anywhere — truncated tail included — returns an error wrapping
+// ErrCorruptWAL and leaves no file descriptor open; it never half-loads.
 func Open(path string) (*Store, error) {
 	s := &Store{tree: newBTree(32), path: path}
 	if path == "" {
@@ -54,8 +64,8 @@ func (s *Store) recover() error {
 			return nil
 		}
 		if errors.Is(err, errCorrupt) {
-			// Torn tail: everything before it already applied; stop here.
-			return nil
+			return fmt.Errorf("kvstore: %s: record %d at offset %d: %w",
+				s.path, r.records, r.goodOff, ErrCorruptWAL)
 		}
 		if err != nil {
 			return err
@@ -65,6 +75,44 @@ func (s *Store) recover() error {
 			s.tree.Put(rec.key, rec.value)
 		case walDelete:
 			s.tree.Delete(rec.key)
+		}
+	}
+}
+
+// Repair truncates the WAL at path after its last intact record, dropping
+// the corrupt or torn suffix Open refuses to load. It returns how many
+// records survive and how many bytes were cut. Repair of an intact (or
+// absent) WAL is a no-op.
+func Repair(path string) (kept int, dropped int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("kvstore: repairing: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	r := newWALReader(f)
+	for {
+		_, err := r.next()
+		if errors.Is(err, io.EOF) {
+			return r.records, 0, nil
+		}
+		if errors.Is(err, errCorrupt) {
+			if err := f.Truncate(r.goodOff); err != nil {
+				return r.records, 0, fmt.Errorf("kvstore: truncating wal: %w", err)
+			}
+			return r.records, size - r.goodOff, f.Sync()
+		}
+		if err != nil {
+			return r.records, 0, err
 		}
 	}
 }
@@ -87,6 +135,11 @@ func (s *Store) Put(key, value []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.walErr; err != nil {
+		// The durable log is gone (failed compaction); refusing beats
+		// silently succeeding in memory only.
+		return fmt.Errorf("kvstore: wal unavailable: %w", err)
+	}
 	if s.wal != nil {
 		if err := s.wal.append(walRecord{op: walPut, key: key, value: value}); err != nil {
 			return err
@@ -100,6 +153,9 @@ func (s *Store) Put(key, value []byte) error {
 func (s *Store) Delete(key []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.walErr; err != nil {
+		return fmt.Errorf("kvstore: wal unavailable: %w", err)
+	}
 	if s.wal != nil {
 		if err := s.wal.append(walRecord{op: walDelete, key: key}); err != nil {
 			return err
@@ -168,6 +224,80 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 	return nil
 }
 
+// Compact rewrites the WAL as one Put per live key, atomically replacing
+// the log file (write to a temp file, fsync, rename). A store that is
+// checkpointed repeatedly — every save appends full state — stays bounded
+// at roughly one copy of the live data instead of growing by one copy per
+// checkpoint. No-op for an in-memory store. Crash-safe: an interrupted
+// compaction leaves the original log untouched (plus a harmless temp file).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.path == "" {
+		return nil
+	}
+	if err := s.walErr; err != nil {
+		return fmt.Errorf("kvstore: wal unavailable: %w", err)
+	}
+	if s.wal == nil {
+		return errors.New("kvstore: compacting a closed store")
+	}
+	tmp := s.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kvstore: compacting: %w", err)
+	}
+	w := newWALWriter(f)
+	var werr error
+	s.tree.Ascend(nil, nil, func(k, v []byte) bool {
+		werr = w.append(walRecord{op: walPut, key: k, value: v})
+		return werr == nil
+	})
+	if werr == nil {
+		werr = w.flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if err := f.Close(); werr == nil {
+		werr = err
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("kvstore: compacting: %w", werr)
+	}
+	if err := s.wal.close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("kvstore: compacting: closing old wal: %w", err)
+	}
+	s.wal = nil // old handle is gone; restored below or the store refuses writes
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		// The old log still exists on disk; reattach to it so the store
+		// stays durable despite the failed swap.
+		return s.reattachWAL(fmt.Errorf("kvstore: compacting: %w", err))
+	}
+	return s.reattachWAL(nil)
+}
+
+// reattachWAL reopens the append handle on s.path after Compact dropped the
+// old one, holding s.mu. On failure the store marks its WAL lost (walErr):
+// every later mutation refuses rather than silently succeeding in memory —
+// a checkpointing daemon must never believe writes are durable when they
+// are not. cause, if non-nil, is the error that got us here and wins.
+func (s *Store) reattachWAL(cause error) error {
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.walErr = err
+		if cause != nil {
+			return cause
+		}
+		return fmt.Errorf("kvstore: compacting: reopening wal: %w", err)
+	}
+	s.wal = newWALWriter(f)
+	return cause
+}
+
 // Close flushes and closes the WAL.
 func (s *Store) Close() error {
 	s.mu.Lock()
@@ -195,7 +325,10 @@ type walRecord struct {
 	value []byte
 }
 
-var errCorrupt = errors.New("kvstore: corrupt wal record")
+// errCorrupt is the reader-level corruption marker; it wraps ErrCorruptWAL
+// so every path that surfaces it (Open, Repair, LoadSnapshot) matches
+// errors.Is(err, ErrCorruptWAL).
+var errCorrupt = fmt.Errorf("%w record", ErrCorruptWAL)
 
 // Frame: u32 crc (of everything after), u8 op, u32 klen, u32 vlen, key, value.
 type walWriter struct {
@@ -240,7 +373,9 @@ func (w *walWriter) close() error {
 }
 
 type walReader struct {
-	br *bufio.Reader
+	br      *bufio.Reader
+	goodOff int64 // offset just past the last fully verified record
+	records int   // records verified so far
 }
 
 func newWALReader(r io.Reader) *walReader { return &walReader{br: bufio.NewReader(r)} }
@@ -279,5 +414,7 @@ func (r *walReader) next() (walRecord, error) {
 	if rec.op != walPut && rec.op != walDelete {
 		return walRecord{}, errCorrupt
 	}
+	r.goodOff += int64(4 + len(payload))
+	r.records++
 	return rec, nil
 }

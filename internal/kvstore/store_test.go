@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"os"
@@ -234,9 +235,21 @@ func TestStoreRecoveryTornTail(t *testing.T) {
 	f.Write([]byte{0xde, 0xad, 0xbe})
 	f.Close()
 
+	if _, err := Open(path); !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("torn tail must refuse to open, got err=%v", err)
+	}
+	// Repair cuts the torn suffix; the store then opens with the intact
+	// prefix.
+	kept, dropped, err := Repair(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 1 || dropped != 3 {
+		t.Fatalf("repair kept %d records, dropped %d bytes; want 1, 3", kept, dropped)
+	}
 	s2, err := Open(path)
 	if err != nil {
-		t.Fatalf("torn tail should not fail recovery: %v", err)
+		t.Fatalf("open after repair: %v", err)
 	}
 	defer s2.Close()
 	if _, ok := s2.Get([]byte("good")); !ok {
@@ -256,6 +269,12 @@ func TestStoreRecoveryCorruptCRC(t *testing.T) {
 	data[len(data)-1] ^= 0xFF
 	os.WriteFile(path, data, 0o644)
 
+	if _, err := Open(path); !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("bit flip must refuse to open, got err=%v", err)
+	}
+	if kept, _, err := Repair(path); err != nil || kept != 1 {
+		t.Fatalf("repair kept %d (err %v), want the 1 intact record", kept, err)
+	}
 	s2, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
@@ -266,6 +285,39 @@ func TestStoreRecoveryCorruptCRC(t *testing.T) {
 	}
 	if _, ok := s2.Get([]byte("b")); ok {
 		t.Fatal("corrupt record applied")
+	}
+}
+
+// openFDs counts this process's open file descriptors.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot enumerate fds: %v", err)
+	}
+	return len(ents)
+}
+
+// TestStoreOpenCorruptNoFDLeak: a refused Open must not leave the WAL file
+// descriptor behind, however many times it is retried.
+func TestStoreOpenCorruptNoFDLeak(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.wal")
+	s, _ := Open(path)
+	s.Put([]byte("a"), []byte("1"))
+	s.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	before := openFDs(t)
+	for i := 0; i < 64; i++ {
+		if _, err := Open(path); err == nil {
+			t.Fatal("corrupt store opened")
+		}
+	}
+	if after := openFDs(t); after > before {
+		t.Fatalf("fd leak: %d open before, %d after 64 failed opens", before, after)
 	}
 }
 
@@ -327,9 +379,9 @@ func TestStoreConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
-// TestRecoveryRandomCorruptionProperty: flip random bytes anywhere in the
-// WAL; recovery must never fail, never apply a corrupted record, and keep
-// every record before the first corruption.
+// TestRecoveryRandomCorruptionProperty: flip a random byte anywhere in the
+// WAL; Open must always detect it (never half-load silently), and after
+// Repair the store must open with an intact prefix of the committed puts.
 func TestRecoveryRandomCorruptionProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		dir := t.TempDir()
@@ -354,12 +406,18 @@ func TestRecoveryRandomCorruptionProperty(t *testing.T) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return false
 		}
+		if _, err := Open(path); !errors.Is(err, ErrCorruptWAL) {
+			return false // any single flip must be detected and refused
+		}
+		if _, _, err := Repair(path); err != nil {
+			return false
+		}
 		s2, err := Open(path)
 		if err != nil {
-			return false // recovery must tolerate any single corruption
+			return false
 		}
 		defer s2.Close()
-		// Recovered state must be a prefix of the committed puts: if k exists
+		// Repaired state must be a prefix of the committed puts: if k exists
 		// its value must be intact.
 		for i := 0; i < 20; i++ {
 			v, ok := s2.Get([]byte(fmt.Sprintf("k%02d", i)))
@@ -371,5 +429,98 @@ func TestRecoveryRandomCorruptionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCompactBoundsWALGrowth: repeated full-state rewrites grow the log by
+// one copy per round; Compact shrinks it back to ~one copy, preserves every
+// live key, stays openable, and keeps accepting durable writes.
+func TestCompactBoundsWALGrowth(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("v"), 128)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 50; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("k%02d", i)), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	grown, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	compacted, _ := os.Stat(path)
+	if compacted.Size() >= grown.Size()/5 {
+		t.Fatalf("compaction barely helped: %d -> %d bytes", grown.Size(), compacted.Size())
+	}
+	// Writes after compaction must still be durable.
+	if err := s.Put([]byte("post"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 51 {
+		t.Fatalf("recovered %d keys after compact, want 51", s2.Len())
+	}
+	if v, ok := s2.Get([]byte("k07")); !ok || !bytes.Equal(v, val) {
+		t.Fatal("live key lost or corrupted by compaction")
+	}
+	if _, ok := s2.Get([]byte("post")); !ok {
+		t.Fatal("post-compaction write lost")
+	}
+}
+
+// TestCompactInMemoryNoop: Compact on a volatile store is a no-op.
+func TestCompactInMemoryNoop(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	s.Put([]byte("a"), []byte("1"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get([]byte("a")); !ok {
+		t.Fatal("key lost")
+	}
+}
+
+// TestCompactFailureRefusesSilentVolatility: if compaction cannot reattach
+// a WAL, the store must refuse later mutations rather than silently
+// becoming in-memory (a checkpointing daemon would believe its saves are
+// durable).
+func TestCompactFailureRefusesSilentVolatility(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put([]byte("a"), []byte("1"))
+	// Simulate the terminal failure mode directly: WAL lost, not
+	// reattachable.
+	s.mu.Lock()
+	s.wal.close()
+	s.wal = nil
+	s.walErr = errors.New("simulated reattach failure")
+	s.mu.Unlock()
+
+	if err := s.Put([]byte("b"), []byte("2")); err == nil {
+		t.Fatal("Put succeeded with no durable log")
+	}
+	if err := s.Delete([]byte("a")); err == nil {
+		t.Fatal("Delete succeeded with no durable log")
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("Compact reported success with no durable log")
 	}
 }

@@ -1,0 +1,369 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"farmer/internal/core"
+	"farmer/internal/trace"
+)
+
+// ErrClientClosed reports a call issued after Close, or one interrupted by
+// it.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// pending is one in-flight request; the reader delivers the matching
+// response frame (or the client fails it with an error).
+type pending struct {
+	ch chan Frame // buffered 1
+}
+
+// Client speaks the wire protocol over one connection, with request
+// pipelining: any number of calls may be outstanding, each matched to its
+// response by id. Requests are written through a dedicated goroutine that
+// coalesces a burst into one flush (per-connection write batching). Safe
+// for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiting map[uint64]*pending
+	err     error // first transport error, sticky
+	closed  bool
+
+	out      chan []byte
+	quit     chan struct{} // closed by Close: writer flushes and exits
+	done     chan struct{} // closed when the reader exits
+	writerWG sync.WaitGroup
+}
+
+// Dial connects to a FARMER rpc server at a TCP addr, honoring ctx for the
+// connection attempt.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		waiting: make(map[uint64]*pending),
+		out:     make(chan []byte, 256),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	c.writerWG.Add(1)
+	go c.writeLoop()
+	go c.readLoop()
+	return c
+}
+
+// writeLoop drains queued frames, coalescing everything available into one
+// buffered write and a single flush — the per-connection write batching
+// that lets a pipelined burst of Feeds cost one syscall.
+func (c *Client) writeLoop() {
+	defer c.writerWG.Done()
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	for {
+		var buf []byte
+		select {
+		case buf = <-c.out:
+		case <-c.quit:
+			bw.Flush()
+			return
+		}
+		bw.Write(buf)
+	batch:
+		for {
+			select {
+			case more := <-c.out:
+				bw.Write(more)
+			default:
+				break batch
+			}
+		}
+		if bw.Flush() != nil {
+			// The reader will observe the broken connection and fail all
+			// pending calls; senders stop enqueueing once c.done closes.
+			return
+		}
+	}
+}
+
+// readLoop matches response frames to pending calls. On transport error it
+// fails every outstanding and future call with that error.
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		p := c.waiting[f.ID]
+		delete(c.waiting, f.ID)
+		c.mu.Unlock()
+		if p != nil {
+			p.ch <- f
+		}
+	}
+}
+
+// fail marks the client broken and releases every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if c.closed {
+			c.err = ErrClientClosed
+		} else {
+			c.err = fmt.Errorf("rpc: connection failed: %w", err)
+		}
+	}
+	waiting := c.waiting
+	c.waiting = make(map[uint64]*pending)
+	c.mu.Unlock()
+	close(c.done)
+	for _, p := range waiting {
+		close(p.ch)
+	}
+}
+
+// start enqueues one request and returns its pending slot. The body is
+// copied into the frame buffer, so the caller may reuse it.
+func (c *Client) start(typ MsgType, body []byte) (*pending, error) {
+	if len(body) > MaxFrame-frameHeader {
+		// Refuse locally: the server's ReadFrame would reject the frame and
+		// drop the connection, failing every pipelined call with it.
+		return nil, fmt.Errorf("%w: %d-byte body", ErrFrameTooLarge, len(body))
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	p := &pending{ch: make(chan Frame, 1)}
+	c.waiting[id] = p
+	c.mu.Unlock()
+
+	buf := AppendFrame(make([]byte, 0, frameHeader+4+len(body)), typ, id, body)
+	select {
+	case c.out <- buf:
+		return p, nil
+	case <-c.done:
+		c.forget(id)
+		return nil, c.lastErr()
+	}
+}
+
+// wait blocks for p's response, honoring ctx. A ctx expiry abandons the
+// response (the reader discards it on arrival); the connection stays
+// healthy.
+func (c *Client) wait(ctx context.Context, p *pending) ([]byte, error) {
+	select {
+	case f, ok := <-p.ch:
+		if !ok {
+			return nil, c.lastErr()
+		}
+		if f.Type == MsgErr {
+			return nil, decodeWireError(f.Body)
+		}
+		if f.Type != MsgOK {
+			return nil, fmt.Errorf("rpc: unexpected response type %d", f.Type)
+		}
+		return f.Body, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.waiting, id)
+	c.mu.Unlock()
+}
+
+func (c *Client) lastErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClientClosed
+}
+
+// call is the synchronous request/response path.
+func (c *Client) call(ctx context.Context, typ MsgType, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := c.start(typ, body)
+	if err != nil {
+		return nil, err
+	}
+	return c.wait(ctx, p)
+}
+
+// Ping round-trips an empty frame and reports the wall-clock latency.
+func (c *Client) Ping(ctx context.Context) (time.Duration, error) {
+	t0 := time.Now()
+	_, err := c.call(ctx, MsgPing, nil)
+	return time.Since(t0), err
+}
+
+// Feed ships one record to the remote miner and waits for its ack.
+func (c *Client) Feed(ctx context.Context, r *trace.Record) error {
+	_, err := c.call(ctx, MsgFeed, trace.AppendRecord(nil, r))
+	return err
+}
+
+// maxBatchBody caps one FeedBatch frame's encoded body, comfortably under
+// MaxFrame: larger batches are split into pipelined frames rather than
+// tripping the server's frame bound and killing the connection. Variable
+// only so tests can force the split path on small batches.
+var maxBatchBody = 8 << 20
+
+// FeedBatch ships the batch as one or more pipelined frames (split at
+// maxBatchBody); the server mines each with all shards in parallel, in
+// order, and FeedBatch returns once every frame is acked.
+func (c *Client) FeedBatch(ctx context.Context, recs []trace.Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var pendings []*pending
+	ship := func(chunk []trace.Record) error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		p, err := c.start(MsgFeedBatch, appendRecords(nil, chunk))
+		if err != nil {
+			return err
+		}
+		pendings = append(pendings, p)
+		return nil
+	}
+	lo, size := 0, 4
+	var shipErr error
+	for i := range recs {
+		sz := trace.RecordFixedLen + len(recs[i].Path)
+		if size+sz > maxBatchBody && i > lo {
+			if shipErr = ship(recs[lo:i]); shipErr != nil {
+				break
+			}
+			lo, size = i, 4
+		}
+		size += sz
+	}
+	if shipErr == nil {
+		shipErr = ship(recs[lo:])
+	}
+	// Collect every ack even after an error so no response leaks.
+	for _, p := range pendings {
+		if _, err := c.wait(ctx, p); err != nil && shipErr == nil {
+			shipErr = err
+		}
+	}
+	return shipErr
+}
+
+// Predict asks the remote miner for up to k successors of f.
+func (c *Client) Predict(ctx context.Context, f trace.FileID, k int) ([]trace.FileID, error) {
+	body, err := c.call(ctx, MsgPredict, appendPredictReq(nil, f, k))
+	if err != nil {
+		return nil, err
+	}
+	return consumeFileIDs(body)
+}
+
+// CorrelatorList fetches f's full Correlator List with bit-exact degrees.
+func (c *Client) CorrelatorList(ctx context.Context, f trace.FileID) ([]core.Correlator, error) {
+	body, err := c.call(ctx, MsgList, binary.LittleEndian.AppendUint32(nil, uint32(f)))
+	if err != nil {
+		return nil, err
+	}
+	return consumeCorrelators(body)
+}
+
+// Stats fetches the remote miner's footprint snapshot.
+func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
+	body, err := c.call(ctx, MsgStats, nil)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	return consumeStats(body)
+}
+
+// Save checkpoints the remote miner into its server-side store.
+func (c *Client) Save(ctx context.Context) error {
+	_, err := c.call(ctx, MsgSave, nil)
+	return err
+}
+
+// Load restores the remote miner from its server-side store.
+func (c *Client) Load(ctx context.Context) error {
+	_, err := c.call(ctx, MsgLoad, nil)
+	return err
+}
+
+// Close drains gracefully: no new calls are accepted, outstanding responses
+// are awaited briefly, then the connection closes. Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	// Give in-flight calls a bounded window to complete (graceful drain).
+	deadline := time.NewTimer(5 * time.Second)
+	defer deadline.Stop()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+drain:
+	for {
+		c.mu.Lock()
+		n := len(c.waiting)
+		c.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			break drain
+		case <-c.done:
+			break drain
+		}
+	}
+	close(c.quit)
+	// Bound the writer's final flush: a peer that stopped reading leaves
+	// the write blocked on TCP backpressure, and only a deadline (or
+	// closing the conn) unblocks it — without this, Wait could hang forever
+	// and conn.Close would never run.
+	c.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	c.writerWG.Wait()
+	err := c.conn.Close()
+	<-c.done // reader exits on the closed connection
+	return err
+}

@@ -1,0 +1,248 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"farmer/internal/core"
+	"farmer/internal/partition"
+	"farmer/internal/trace"
+)
+
+// Backend is the mining surface a Server puts on the wire — implemented by
+// the farmer package's local miner, and by anything else that wants to
+// speak the protocol. Requests on one connection are handled sequentially
+// in arrival order; the backend only needs the same concurrency safety as
+// core.ShardedModel (many connections may call it at once).
+type Backend interface {
+	Feed(r *trace.Record) error
+	FeedBatch(recs []trace.Record) error
+	Predict(f trace.FileID, k int) []trace.FileID
+	CorrelatorList(f trace.FileID) []core.Correlator
+	Stats() core.Stats
+	ApplyEvents(evs []partition.Event)
+	Save() error
+	Load() error
+}
+
+// Server serves the FARMER wire protocol over a listener. One goroutine per
+// connection reads and handles requests in order; responses go out through
+// a per-connection batching writer, so a pipelining client pays one flush
+// per burst rather than one per reply.
+type Server struct {
+	backend Backend
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	done     chan struct{} // closed when Serve returns
+
+	handling sync.WaitGroup // in-flight connection loops
+}
+
+// NewServer creates a server for backend.
+func NewServer(b Backend) *Server {
+	return &Server{backend: b, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Serve accepts connections on lis until Shutdown (or a listener error) and
+// blocks meanwhile. After Shutdown it returns nil.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("rpc: server already shut down")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	defer close(s.done)
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return fmt.Errorf("rpc: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.handling.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, let every
+// connection finish the request it is handling (plus any already-read
+// pipeline), flush responses, then close. It waits until the drain
+// completes or ctx expires, whichever is first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	lis := s.lis
+	// Unblock readers parked in ReadFrame; the connection loop finishes the
+	// current request and exits on the read error.
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.handling.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		// Force-close whatever is still open.
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+	if lis != nil {
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+func (s *Server) removeConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.handling.Done()
+}
+
+// serveConn is one connection's request loop: decode, handle, respond.
+// Handling is strictly in read order, which makes the connection a FIFO
+// event channel (the NetOwner invariant) and responses naturally ordered.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.removeConn(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var out []byte
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			// EOF, deadline (drain), or protocol garbage — including a
+			// version mismatch, which the peer's own ReadFrame check
+			// surfaces on its side: flush what we owe and drop the
+			// connection.
+			bw.Flush()
+			return
+		}
+		out = s.handle(out[:0], &f)
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		// Write batching: only flush when no further request is already
+		// buffered, so a pipelined burst is answered with one syscall.
+		if br.Buffered() < 4 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handle executes one request and appends the response frame to dst.
+func (s *Server) handle(dst []byte, f *Frame) []byte {
+	ok := func(body []byte) []byte { return AppendFrame(dst, MsgOK, f.ID, body) }
+	fail := func(code Code, err error) []byte {
+		return AppendFrame(dst, MsgErr, f.ID, appendWireError(nil, code, err.Error()))
+	}
+	switch f.Type {
+	case MsgPing:
+		return ok(nil)
+	case MsgFeed:
+		r, rest, err := trace.ConsumeRecord(f.Body)
+		if err == nil && len(rest) != 0 {
+			err = fmt.Errorf("rpc: %d trailing bytes after record", len(rest))
+		}
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		if err := s.backend.Feed(&r); err != nil {
+			return fail(CodeInternal, err)
+		}
+		return ok(nil)
+	case MsgFeedBatch:
+		recs, err := consumeRecords(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		if err := s.backend.FeedBatch(recs); err != nil {
+			return fail(CodeInternal, err)
+		}
+		return ok(nil)
+	case MsgPredict:
+		file, k, err := decodePredictReq(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		return ok(appendFileIDs(nil, s.backend.Predict(file, k)))
+	case MsgList:
+		file, rest, err := consumeU32(f.Body)
+		if err == nil && len(rest) != 0 {
+			err = fmt.Errorf("rpc: %d trailing bytes after file id", len(rest))
+		}
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		return ok(appendCorrelators(nil, s.backend.CorrelatorList(trace.FileID(file))))
+	case MsgStats:
+		return ok(appendStats(nil, s.backend.Stats()))
+	case MsgSave:
+		if err := s.backend.Save(); err != nil {
+			return fail(CodeInternal, err)
+		}
+		return ok(nil)
+	case MsgLoad:
+		if err := s.backend.Load(); err != nil {
+			return fail(CodeInternal, err)
+		}
+		return ok(nil)
+	case MsgApplyEvents:
+		evs, err := consumeEvents(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		s.backend.ApplyEvents(evs)
+		return ok(nil)
+	default:
+		return fail(CodeUnsupported, fmt.Errorf("rpc: unknown request type %d", f.Type))
+	}
+}
+
+// ListenAndServe listens on addr (TCP) and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	return s.Serve(lis)
+}

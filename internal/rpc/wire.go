@@ -1,0 +1,460 @@
+// Package rpc puts the FARMER miner on the wire: a length-prefixed binary
+// framing (reusing internal/trace's record codec), a pipelined client with
+// per-connection write batching, a graceful-drain server, and a NetOwner
+// adapter so a partition.Dispatcher can route mining events to a remote
+// process.
+//
+// Frame layout (little-endian, like every codec in this repository):
+//
+//	u32 length            of everything after this field (max MaxFrame)
+//	u8  version           ProtocolVersion; a mismatch fails the connection
+//	u8  type              MsgType
+//	u64 id                request id, echoed by the response (pipelining key)
+//	...body               per-type payload, see the Msg* constants
+//
+// Responses reuse the same frame: MsgOK carries the per-request result
+// body, MsgErr carries `u16 code, u32 len, msg`. Requests on one
+// connection are handled in arrival order and answered in that order, so a
+// connection is a FIFO channel — the property NetOwner's bit-identical
+// mining rests on.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"farmer/internal/core"
+	"farmer/internal/partition"
+	"farmer/internal/trace"
+	"farmer/internal/vsm"
+)
+
+// ProtocolVersion is the framing version byte. Bump it on any incompatible
+// body or frame change; both ends refuse mismatched versions.
+const ProtocolVersion = 1
+
+// MaxFrame bounds one frame's payload so a corrupt or hostile length field
+// cannot demand an arbitrary allocation.
+const MaxFrame = 1 << 26
+
+// MsgType identifies a frame's body layout.
+type MsgType uint8
+
+// Request frames. Bodies:
+//
+//	MsgPing        (empty)                      → MsgOK (empty)
+//	MsgFeed        trace.AppendRecord           → MsgOK (empty)
+//	MsgFeedBatch   u32 count, records           → MsgOK (empty)
+//	MsgPredict     u32 file, u32 k              → MsgOK u32 count, u32 files
+//	MsgList        u32 file                     → MsgOK correlator list
+//	MsgStats       (empty)                      → MsgOK stats body
+//	MsgSave        (empty)                      → MsgOK (empty)
+//	MsgLoad        (empty)                      → MsgOK (empty)
+//	MsgApplyEvents u32 count, events            → MsgOK (empty)
+const (
+	MsgPing MsgType = iota + 1
+	MsgFeed
+	MsgFeedBatch
+	MsgPredict
+	MsgList
+	MsgStats
+	MsgSave
+	MsgLoad
+	MsgApplyEvents
+
+	// Response frames.
+	MsgOK  MsgType = 0x40
+	MsgErr MsgType = 0x41
+)
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Type MsgType
+	ID   uint64
+	Body []byte
+}
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = errors.New("rpc: frame exceeds MaxFrame")
+	ErrBadVersion    = errors.New("rpc: protocol version mismatch")
+)
+
+// frameHeader is the fixed payload prefix: version, type, id.
+const frameHeader = 1 + 1 + 8
+
+// AppendFrame appends one encoded frame to dst.
+func AppendFrame(dst []byte, typ MsgType, id uint64, body []byte) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(frameHeader+len(body)))
+	dst = append(dst, ProtocolVersion, byte(typ))
+	dst = le.AppendUint64(dst, id)
+	return append(dst, body...)
+}
+
+// ReadFrame decodes one frame from br. Body bytes are freshly allocated and
+// safe to retain.
+func ReadFrame(br *bufio.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < frameHeader {
+		return Frame{}, fmt.Errorf("rpc: short frame: %d bytes", n)
+	}
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return Frame{}, fmt.Errorf("rpc: truncated frame: %w", err)
+	}
+	if payload[0] != ProtocolVersion {
+		return Frame{}, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, payload[0], ProtocolVersion)
+	}
+	return Frame{
+		Type: MsgType(payload[1]),
+		ID:   binary.LittleEndian.Uint64(payload[2:10]),
+		Body: payload[10:],
+	}, nil
+}
+
+// Code classifies a MsgErr response.
+type Code uint16
+
+const (
+	// CodeBadRequest: the request body failed to decode or violated a
+	// protocol invariant; retrying the same bytes cannot succeed.
+	CodeBadRequest Code = 1
+	// CodeInternal: the backend returned an error (persistence failure,
+	// invalid state); the message carries the backend's text.
+	CodeInternal Code = 2
+	// Code 3 is reserved. (A draining server finishes the in-flight
+	// pipeline and then closes the connection, so "shutting down" reaches
+	// clients as a transport error, not an error frame.)
+
+	// CodeUnsupported: the request type is unknown to this server.
+	CodeUnsupported Code = 4
+)
+
+// WireError is a MsgErr response surfaced to the caller.
+type WireError struct {
+	Code Code
+	Msg  string
+}
+
+func (e *WireError) Error() string { return fmt.Sprintf("rpc: remote error %d: %s", e.Code, e.Msg) }
+
+func appendWireError(dst []byte, code Code, msg string) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint16(dst, uint16(code))
+	dst = le.AppendUint32(dst, uint32(len(msg)))
+	return append(dst, msg...)
+}
+
+func decodeWireError(body []byte) error {
+	if len(body) < 6 {
+		return fmt.Errorf("rpc: malformed error frame (%d bytes)", len(body))
+	}
+	le := binary.LittleEndian
+	code := Code(le.Uint16(body[:2]))
+	n := le.Uint32(body[2:6])
+	if uint32(len(body)-6) < n {
+		return fmt.Errorf("rpc: malformed error frame: message truncated")
+	}
+	return &WireError{Code: code, Msg: string(body[6 : 6+n])}
+}
+
+// ------------------------------------------------------------ body codecs
+
+// Float64 fields travel as their exact bit patterns: a mined degree must
+// survive the wire bit-identically for a remote miner to fingerprint equal
+// to a local one.
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+func f64from(b uint64) float64 { return math.Float64frombits(b) }
+
+func consumeU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("rpc: truncated u32")
+	}
+	return binary.LittleEndian.Uint32(b[:4]), b[4:], nil
+}
+
+func consumeU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("rpc: truncated u64")
+	}
+	return binary.LittleEndian.Uint64(b[:8]), b[8:], nil
+}
+
+// consumeCount reads a u32 element count and bounds it by what the
+// remaining bytes could possibly hold (elemMin = the element's minimum
+// encoded size), so a flipped count cannot demand a huge allocation.
+func consumeCount(b []byte, elemMin int) (int, []byte, error) {
+	n, rest, err := consumeU32(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if elemMin > 0 && int(n) > len(rest)/elemMin {
+		return 0, nil, fmt.Errorf("rpc: count %d exceeds remaining %d bytes", n, len(rest))
+	}
+	return int(n), rest, nil
+}
+
+// appendRecords encodes a batch body: count + trace records.
+func appendRecords(dst []byte, recs []trace.Record) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for i := range recs {
+		dst = trace.AppendRecord(dst, &recs[i])
+	}
+	return dst
+}
+
+func consumeRecords(b []byte) ([]trace.Record, error) {
+	n, b, err := consumeCount(b, trace.RecordFixedLen)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		var r trace.Record
+		if r, b, err = trace.ConsumeRecord(b); err != nil {
+			return nil, fmt.Errorf("rpc: record %d: %w", i, err)
+		}
+		recs = append(recs, r)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("rpc: %d trailing bytes after records", len(b))
+	}
+	return recs, nil
+}
+
+// appendFileIDs encodes a Predict result body.
+func appendFileIDs(dst []byte, files []trace.FileID) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(files)))
+	for _, f := range files {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f))
+	}
+	return dst
+}
+
+func consumeFileIDs(b []byte) ([]trace.FileID, error) {
+	n, b, err := consumeCount(b, 4)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]trace.FileID, n)
+	for i := range out {
+		var v uint32
+		if v, b, err = consumeU32(b); err != nil {
+			return nil, err
+		}
+		out[i] = trace.FileID(v)
+	}
+	return out, nil
+}
+
+// Correlator list body: u32 count, then (u32 file, u64 degree, u64 sim,
+// u64 freq) with the float64 bit patterns — degrees survive the wire
+// bit-exactly, which the cross-process fingerprint tests rely on.
+func appendCorrelators(dst []byte, list []core.Correlator) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(len(list)))
+	for _, c := range list {
+		dst = le.AppendUint32(dst, uint32(c.File))
+		dst = le.AppendUint64(dst, f64bits(c.Degree))
+		dst = le.AppendUint64(dst, f64bits(c.Sim))
+		dst = le.AppendUint64(dst, f64bits(c.Freq))
+	}
+	return dst
+}
+
+func consumeCorrelators(b []byte) ([]core.Correlator, error) {
+	n, b, err := consumeCount(b, 28)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	list := make([]core.Correlator, n)
+	for i := range list {
+		var f uint32
+		var deg, sim, freq uint64
+		if f, b, err = consumeU32(b); err != nil {
+			return nil, err
+		}
+		if deg, b, err = consumeU64(b); err != nil {
+			return nil, err
+		}
+		if sim, b, err = consumeU64(b); err != nil {
+			return nil, err
+		}
+		if freq, b, err = consumeU64(b); err != nil {
+			return nil, err
+		}
+		list[i] = core.Correlator{
+			File:   trace.FileID(f),
+			Degree: f64from(deg),
+			Sim:    f64from(sim),
+			Freq:   f64from(freq),
+		}
+	}
+	return list, nil
+}
+
+// Stats body: seven u64 fields in declaration order (Fed, TrackedFiles,
+// Lists, Correlators, GraphNodes, GraphEdges, MemoryBytes).
+func appendStats(dst []byte, st core.Stats) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, st.Fed)
+	for _, v := range [...]int{st.TrackedFiles, st.Lists, st.Correlators, st.GraphNodes, st.GraphEdges} {
+		dst = le.AppendUint64(dst, uint64(v))
+	}
+	return le.AppendUint64(dst, uint64(st.MemoryBytes))
+}
+
+func consumeStats(b []byte) (core.Stats, error) {
+	if len(b) != 7*8 {
+		return core.Stats{}, fmt.Errorf("rpc: stats body is %d bytes, want 56", len(b))
+	}
+	le := binary.LittleEndian
+	u := func(i int) uint64 { return le.Uint64(b[i*8 : i*8+8]) }
+	return core.Stats{
+		Fed:          u(0),
+		TrackedFiles: int(u(1)),
+		Lists:        int(u(2)),
+		Correlators:  int(u(3)),
+		GraphNodes:   int(u(4)),
+		GraphEdges:   int(u(5)),
+		MemoryBytes:  int64(u(6)),
+	}, nil
+}
+
+// Event body: u32 count, then per event
+//
+//	u8 flags (bit 0: access), u32 pred, u32 succ, u64 credit, u64 seq,
+//	vector: u32 scalarCount, (u32 len, bytes)*, u32 pathLen, path
+func appendEvents(dst []byte, evs []partition.Event) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(len(evs)))
+	for i := range evs {
+		ev := &evs[i]
+		var flags byte
+		if ev.Access {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+		dst = le.AppendUint32(dst, uint32(ev.Pred))
+		dst = le.AppendUint32(dst, uint32(ev.Succ))
+		dst = le.AppendUint64(dst, f64bits(ev.Credit))
+		dst = le.AppendUint64(dst, ev.Seq)
+		dst = appendVector(dst, &ev.Vec)
+	}
+	return dst
+}
+
+func consumeEvents(b []byte) ([]partition.Event, error) {
+	// Minimum event size: flags + ids + credit + seq + empty vector (8).
+	n, b, err := consumeCount(b, 1+4+4+8+8+8)
+	if err != nil {
+		return nil, err
+	}
+	evs := make([]partition.Event, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 25 {
+			return nil, fmt.Errorf("rpc: event %d truncated", i)
+		}
+		le := binary.LittleEndian
+		var ev partition.Event
+		if b[0]&^1 != 0 {
+			return nil, fmt.Errorf("rpc: event %d: unknown flag bits %#x", i, b[0])
+		}
+		ev.Access = b[0]&1 != 0
+		ev.Pred = trace.FileID(le.Uint32(b[1:5]))
+		ev.Succ = trace.FileID(le.Uint32(b[5:9]))
+		ev.Credit = f64from(le.Uint64(b[9:17]))
+		ev.Seq = le.Uint64(b[17:25])
+		b = b[25:]
+		if ev.Vec, b, err = consumeVector(b); err != nil {
+			return nil, fmt.Errorf("rpc: event %d vector: %w", i, err)
+		}
+		evs = append(evs, ev)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("rpc: %d trailing bytes after events", len(b))
+	}
+	return evs, nil
+}
+
+func appendVector(dst []byte, v *vsm.Vector) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(len(v.Scalars)))
+	for _, sc := range v.Scalars {
+		dst = le.AppendUint32(dst, uint32(len(sc)))
+		dst = append(dst, sc...)
+	}
+	dst = le.AppendUint32(dst, uint32(len(v.Path)))
+	return append(dst, v.Path...)
+}
+
+func consumeVector(b []byte) (vsm.Vector, []byte, error) {
+	var v vsm.Vector
+	n, b, err := consumeCount(b, 4)
+	if err != nil {
+		return v, nil, err
+	}
+	if n > 0 {
+		v.Scalars = make([]string, 0, n)
+	}
+	str := func() (string, error) {
+		var l uint32
+		if l, b, err = consumeU32(b); err != nil {
+			return "", err
+		}
+		if l > trace.MaxPathLen {
+			return "", fmt.Errorf("rpc: unreasonable string length %d", l)
+		}
+		if uint32(len(b)) < l {
+			return "", fmt.Errorf("rpc: string truncated: want %d bytes, have %d", l, len(b))
+		}
+		s := string(b[:l])
+		b = b[l:]
+		return s, nil
+	}
+	for i := 0; i < n; i++ {
+		sc, err := str()
+		if err != nil {
+			return v, nil, err
+		}
+		v.Scalars = append(v.Scalars, sc)
+	}
+	path, err := str()
+	if err != nil {
+		return v, nil, err
+	}
+	v.Path = path
+	return v, b, nil
+}
+
+// Predict request body.
+func appendPredictReq(dst []byte, f trace.FileID, k int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f))
+	return binary.LittleEndian.AppendUint32(dst, uint32(k))
+}
+
+func decodePredictReq(b []byte) (trace.FileID, int, error) {
+	if len(b) != 8 {
+		return 0, 0, fmt.Errorf("rpc: predict body is %d bytes, want 8", len(b))
+	}
+	le := binary.LittleEndian
+	return trace.FileID(le.Uint32(b[:4])), int(int32(le.Uint32(b[4:8]))), nil
+}

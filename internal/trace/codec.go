@@ -151,6 +151,65 @@ func ReadText(r io.Reader) (*Trace, error) {
 //	nameLen u32, name, fileCount u32, hasPaths u8, recCount u64, records...
 var binMagic = uint32(0x4641524D)
 
+// MaxPathLen bounds a decoded record's path. It guards every consumer of
+// the record codec (trace files and the rpc wire format alike) against a
+// crafted length field demanding a huge allocation.
+const MaxPathLen = 1 << 20
+
+// AppendRecord appends the binary encoding of one record to dst — the exact
+// per-record layout of WriteBinary, shared with the rpc wire format:
+//
+//	seq u64, time u64, op u8,
+//	file u32, uid u32, pid u32, host u32, dev u32, size u32, group u32,
+//	pathLen u32, path
+func AppendRecord(dst []byte, r *Record) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, r.Seq)
+	dst = le.AppendUint64(dst, uint64(r.Time))
+	dst = append(dst, byte(r.Op))
+	for _, v := range [...]uint32{uint32(r.File), r.UID, r.PID, r.Host, r.Dev, r.Size, uint32(r.Group)} {
+		dst = le.AppendUint32(dst, v)
+	}
+	dst = le.AppendUint32(dst, uint32(len(r.Path)))
+	return append(dst, r.Path...)
+}
+
+// RecordFixedLen is the length of a record's fixed-size encoded prefix —
+// seq + time, op, seven u32 fields, and the path length — i.e. the minimum
+// AppendRecord output. Consumers of the record codec (the rpc wire format)
+// size batches and bound allocations with it.
+const RecordFixedLen = 8 + 8 + 1 + 7*4 + 4
+
+// ConsumeRecord decodes one AppendRecord encoding from the front of b and
+// returns the remaining bytes.
+func ConsumeRecord(b []byte) (Record, []byte, error) {
+	var r Record
+	if len(b) < RecordFixedLen {
+		return r, nil, fmt.Errorf("trace: short record: %d bytes", len(b))
+	}
+	le := binary.LittleEndian
+	r.Seq = le.Uint64(b[0:8])
+	r.Time = time.Duration(le.Uint64(b[8:16]))
+	r.Op = Op(b[16])
+	r.File = FileID(le.Uint32(b[17:21]))
+	r.UID = le.Uint32(b[21:25])
+	r.PID = le.Uint32(b[25:29])
+	r.Host = le.Uint32(b[29:33])
+	r.Dev = le.Uint32(b[33:37])
+	r.Size = le.Uint32(b[37:41])
+	r.Group = int32(le.Uint32(b[41:45]))
+	n := le.Uint32(b[45:49])
+	if n > MaxPathLen {
+		return r, nil, fmt.Errorf("trace: unreasonable path length %d", n)
+	}
+	b = b[RecordFixedLen:]
+	if uint32(len(b)) < n {
+		return r, nil, fmt.Errorf("trace: record path truncated: want %d bytes, have %d", n, len(b))
+	}
+	r.Path = string(b[:n])
+	return r, b[n:], nil
+}
+
 // WriteBinary encodes the trace in the compact binary format.
 func WriteBinary(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
@@ -195,23 +254,10 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	if err := putU64(uint64(len(t.Records))); err != nil {
 		return err
 	}
+	var rec []byte
 	for i := range t.Records {
-		r := &t.Records[i]
-		if err := putU64(r.Seq); err != nil {
-			return err
-		}
-		if err := putU64(uint64(r.Time)); err != nil {
-			return err
-		}
-		if err := bw.WriteByte(byte(r.Op)); err != nil {
-			return err
-		}
-		for _, v := range [...]uint32{uint32(r.File), r.UID, r.PID, r.Host, r.Dev, r.Size, uint32(r.Group)} {
-			if err := putU32(v); err != nil {
-				return err
-			}
-		}
-		if err := putStr(r.Path); err != nil {
+		rec = AppendRecord(rec[:0], &t.Records[i])
+		if _, err := bw.Write(rec); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,271 @@
+package farmer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"farmer/internal/core"
+)
+
+// Miner is the public mining surface this package's deployments share: the
+// in-process miner Open returns and the remote client Dial returns both
+// implement it, so prediction services, replay harnesses and experiment
+// drivers are written once against the interface and run against either.
+//
+// Every blocking call takes a context.Context; local implementations only
+// consult it for cancellation, the remote one threads it through the wire
+// round trip. All methods are safe for concurrent use.
+type Miner interface {
+	// Feed ingests one file request through the four-stage pipeline.
+	Feed(ctx context.Context, r *Record) error
+	// FeedBatch ingests a batch; local miners mine it with all shards in
+	// parallel, the remote client ships it as one frame.
+	FeedBatch(ctx context.Context, records []Record) error
+	// Predict returns up to k successors of f in decreasing correlation
+	// degree — the prefetch candidates for a demand access to f.
+	Predict(ctx context.Context, f FileID, k int) ([]FileID, error)
+	// Stats returns the miner's footprint snapshot.
+	Stats(ctx context.Context) (ModelStats, error)
+	// Save checkpoints the mined state into the miner's configured store.
+	Save(ctx context.Context) error
+	// Load restores mined state from the miner's configured store.
+	Load(ctx context.Context) error
+	// Close releases the miner's resources (store, pipeline, connection).
+	Close() error
+}
+
+// ErrNoStore is returned by Save/Load on a miner opened without WithStore.
+var ErrNoStore = errors.New("farmer: miner has no store configured (use WithStore)")
+
+// openConfig collects Open's option state.
+type openConfig struct {
+	shards    int
+	shardsSet bool
+	part      Partitioner
+	storePath string
+	loadStore bool
+	prefetch  bool
+	pfSink    PrefetchSink
+	pfCfg     PrefetchConfig
+}
+
+// Option configures Open.
+type Option func(*openConfig) error
+
+// WithShards stripes the miner across n concurrent partitions, overriding
+// Config.Shards (0 and 1 both mean the paper-exact single-lock path).
+func WithShards(n int) Option {
+	return func(oc *openConfig) error {
+		if n < 0 {
+			return fmt.Errorf("farmer: WithShards(%d): negative shard count", n)
+		}
+		oc.shards = n
+		oc.shardsSet = true
+		return nil
+	}
+}
+
+// WithPartitioner selects the function routing files to shards — the
+// composition a multi-server deployment uses so each server's shard holds
+// exactly the files the cluster routes to it. Requires WithShards (or
+// Config.Shards) >= 1; nil restores the default StripePartitioner.
+func WithPartitioner(p Partitioner) Option {
+	return func(oc *openConfig) error {
+		oc.part = p
+		return nil
+	}
+}
+
+// WithStore backs the miner with a persistent store whose write-ahead log
+// lives at path: Save checkpoints into it, Load restores from it. An empty
+// path is an error — omit the option for a storeless miner.
+func WithStore(path string) Option {
+	return func(oc *openConfig) error {
+		if path == "" {
+			return errors.New("farmer: WithStore: empty path")
+		}
+		oc.storePath = path
+		return nil
+	}
+}
+
+// WithLoad makes Open restore persisted state (if any) from the WithStore
+// store before returning — the usual daemon-restart composition.
+func WithLoad() Option {
+	return func(oc *openConfig) error {
+		oc.loadStore = true
+		return nil
+	}
+}
+
+// WithPrefetcher attaches the asynchronous Predict/prefetch pipeline at
+// open: post-ingest events flow through per-shard taps into a bounded
+// candidate queue feeding sink, and the pipeline drains on Close. A nil
+// sink discards candidates (the pipeline still predicts and accounts).
+func WithPrefetcher(sink PrefetchSink, cfg PrefetchConfig) Option {
+	return func(oc *openConfig) error {
+		if cfg.K < 0 || cfg.QueueCap < 0 || cfg.TapBuffer < 0 {
+			return fmt.Errorf("farmer: WithPrefetcher: negative tuning (K=%d, QueueCap=%d, TapBuffer=%d)",
+				cfg.K, cfg.QueueCap, cfg.TapBuffer)
+		}
+		oc.prefetch = true
+		oc.pfSink = sink
+		oc.pfCfg = cfg
+		return nil
+	}
+}
+
+// LocalMiner is the in-process Miner: a ShardedModel, optionally backed by
+// a persistent store and an attached async prefetch pipeline. Beyond the
+// Miner interface it exposes the concrete read surface (CorrelatorList,
+// Sharded) that servers and tests need.
+type LocalMiner struct {
+	sm    *ShardedModel
+	store *Store
+	pf    *Prefetcher
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ Miner = (*LocalMiner)(nil)
+
+// Open creates an in-process miner. Unlike the deprecated New/NewSharded it
+// returns errors — an invalid configuration, a bad option, or a store that
+// fails to open (including a corrupt write-ahead log) — instead of
+// panicking.
+func Open(cfg Config, opts ...Option) (*LocalMiner, error) {
+	var oc openConfig
+	for _, opt := range opts {
+		if err := opt(&oc); err != nil {
+			return nil, err
+		}
+	}
+	if oc.loadStore && oc.storePath == "" {
+		return nil, errors.New("farmer: WithLoad requires WithStore")
+	}
+	if oc.shardsSet {
+		cfg.Shards = oc.shards
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("farmer: invalid config: %w", err)
+	}
+	owners := cfg.Shards
+	if owners < 1 {
+		owners = 1
+	}
+	m := &LocalMiner{sm: core.NewShardedPartitioned(cfg, owners, oc.part)}
+	if oc.storePath != "" {
+		store, err := OpenStore(oc.storePath)
+		if err != nil {
+			return nil, fmt.Errorf("farmer: opening store: %w", err)
+		}
+		m.store = store
+		if oc.loadStore && store.Len() > 0 {
+			if err := m.sm.LoadMerged(store); err != nil {
+				store.Close()
+				return nil, fmt.Errorf("farmer: loading store: %w", err)
+			}
+		}
+	}
+	if oc.prefetch {
+		m.pf = StartPrefetcher(m.sm, oc.pfSink, oc.pfCfg)
+	}
+	return m, nil
+}
+
+// Feed implements Miner.
+func (m *LocalMiner) Feed(ctx context.Context, r *Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.sm.Feed(r)
+	return nil
+}
+
+// FeedBatch implements Miner; all shards mine the batch in parallel.
+func (m *LocalMiner) FeedBatch(ctx context.Context, records []Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.sm.FeedBatch(records)
+	return nil
+}
+
+// Predict implements Miner.
+func (m *LocalMiner) Predict(ctx context.Context, f FileID, k int) ([]FileID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m.sm.Predict(f, k), nil
+}
+
+// Stats implements Miner.
+func (m *LocalMiner) Stats(ctx context.Context) (ModelStats, error) {
+	if err := ctx.Err(); err != nil {
+		return ModelStats{}, err
+	}
+	return m.sm.Stats(), nil
+}
+
+// Save implements Miner: SaveMerged into the WithStore store, then compact
+// the write-ahead log — repeated checkpoints (farmerd -checkpoint) keep the
+// store at roughly one copy of the live state instead of growing by one
+// copy per save.
+func (m *LocalMiner) Save(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if m.store == nil {
+		return ErrNoStore
+	}
+	if err := m.sm.SaveMerged(m.store); err != nil {
+		return err
+	}
+	return m.store.Compact()
+}
+
+// Load implements Miner: LoadMerged from the WithStore store, rebalancing
+// onto the current shard count and partitioner. It only restores into a
+// fresh miner: LoadMerged overlays state and adds the persisted ingest
+// counter, so loading over live mined state would merge models and
+// double-count Fed — a miner that has already ingested reports an error
+// instead.
+func (m *LocalMiner) Load(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if m.store == nil {
+		return ErrNoStore
+	}
+	if m.sm.Fed() > 0 {
+		return fmt.Errorf("farmer: cannot load into a miner that has already ingested %d records", m.sm.Fed())
+	}
+	return m.sm.LoadMerged(m.store)
+}
+
+// CorrelatorList returns a copy of f's sorted Correlator List.
+func (m *LocalMiner) CorrelatorList(f FileID) []Correlator { return m.sm.CorrelatorList(f) }
+
+// Sharded exposes the underlying ensemble for compositions the interface
+// does not cover (event taps, DispatchExternal, merged persistence).
+func (m *LocalMiner) Sharded() *ShardedModel { return m.sm }
+
+// Prefetcher returns the attached pipeline, nil without WithPrefetcher.
+func (m *LocalMiner) Prefetcher() *Prefetcher { return m.pf }
+
+// Close drains the attached prefetch pipeline and closes the store.
+// Idempotent.
+func (m *LocalMiner) Close() error {
+	m.closeOnce.Do(func() {
+		if m.pf != nil {
+			m.pf.Stop()
+		}
+		if m.store != nil {
+			m.closeErr = m.store.Close()
+		}
+	})
+	return m.closeErr
+}

@@ -1,0 +1,100 @@
+package farmer
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"farmer/internal/core"
+	"farmer/internal/partition"
+	"farmer/internal/rpc"
+	"farmer/internal/trace"
+)
+
+// localBackend adapts a LocalMiner to the wire protocol's backend surface.
+// ApplyEvents hands a remote dispatcher's event batches to the ensemble,
+// which routes them onto the owning shards — the server side of a
+// multi-process partitioned deployment (rpc.NetOwner is the client side).
+type localBackend struct{ m *LocalMiner }
+
+func (b localBackend) Feed(r *trace.Record) error           { b.m.sm.Feed(r); return nil }
+func (b localBackend) FeedBatch(recs []trace.Record) error  { b.m.sm.FeedBatch(recs); return nil }
+func (b localBackend) Predict(f FileID, k int) []FileID     { return b.m.sm.Predict(f, k) }
+func (b localBackend) CorrelatorList(f FileID) []Correlator { return b.m.sm.CorrelatorList(f) }
+func (b localBackend) Stats() core.Stats                    { return b.m.sm.Stats() }
+func (b localBackend) ApplyEvents(evs []partition.Event)    { b.m.sm.ApplyExternal(evs) }
+func (b localBackend) Save() error                          { return b.m.Save(context.Background()) }
+func (b localBackend) Load() error                          { return b.m.Load(context.Background()) }
+
+// ServeConfig tunes Serve.
+type ServeConfig struct {
+	// Checkpoint saves the miner into its store every interval (0 = never).
+	// The final drain always checkpoints once more when a store is
+	// configured.
+	Checkpoint time.Duration
+	// DrainTimeout bounds the graceful shutdown (default 10s): connections
+	// get that long to finish in-flight requests before being cut.
+	DrainTimeout time.Duration
+}
+
+// Serve puts a local miner on the wire: it serves the FARMER rpc protocol
+// on lis until ctx is cancelled, then drains gracefully — in-flight
+// requests finish, responses flush, and (when the miner has a store) a
+// final checkpoint is written. It blocks for the duration and returns the
+// first serve, checkpoint, or drain error. This is the serving loop behind
+// cmd/farmerd and `farmerctl serve`.
+func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig) error {
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	srv := rpc.NewServer(localBackend{m})
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if cfg.Checkpoint > 0 && m.store != nil {
+		ticker = time.NewTicker(cfg.Checkpoint)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	// drain shuts the server down, writes the final checkpoint, and folds
+	// any earlier checkpoint error in — shared by the ctx-cancel path and
+	// the listener-failure path, so mined state is never lost to either.
+	var ckptErr error
+	drain := func(cause error) error {
+		dctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+		defer cancel()
+		err := srv.Shutdown(dctx)
+		if m.store != nil {
+			if serr := m.Save(context.Background()); serr != nil && err == nil {
+				err = serr
+			}
+		}
+		if cause != nil {
+			return cause
+		}
+		if err == nil {
+			err = ckptErr
+		}
+		return err
+	}
+	for {
+		select {
+		case <-tick:
+			if err := m.Save(context.Background()); err != nil && ckptErr == nil {
+				ckptErr = err
+			}
+		case err := <-serveErr:
+			// Listener failure without a shutdown: drain the open
+			// connections and checkpoint anyway, then surface the cause.
+			return drain(err)
+		case <-ctx.Done():
+			err := drain(nil)
+			<-serveErr
+			return err
+		}
+	}
+}
