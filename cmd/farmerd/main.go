@@ -10,6 +10,7 @@
 //	        [-shards N] [-partition stripe|hash|group]
 //	        [-checkpoint D] [-prefetch-k K]
 //	        [-weight P] [-strength S]
+//	        [-replicate-to addr,addr...] [-follow]
 //
 // With -store, mined state is checkpointed every -checkpoint interval and
 // once more on shutdown; -load restores the previous state at start, and
@@ -18,6 +19,15 @@
 // async prefetch pipeline is attached and its accounting is printed on
 // exit. SIGINT/SIGTERM drain gracefully: in-flight requests finish,
 // responses flush, the final checkpoint is written.
+//
+// With -replicate-to, this farmerd is a replication PRIMARY: each listed
+// address must be a farmerd started with -follow, which is bootstrapped
+// with a catch-up checkpoint at startup and then receives every acked
+// record before the client's ack — so no acked record dies with the
+// primary. With -follow, this farmerd is a FOLLOWER: it serves reads,
+// refuses writes until promoted, and accepts promotion (from a failing-over
+// multi-address farmer.Dial client) only after its primary's link is gone.
+// See DESIGN.md "Replication & failover".
 //
 // Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error.
 package main
@@ -29,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"farmer"
@@ -37,6 +48,18 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// splitAddrs parses the -replicate-to list, dropping empty segments so a
+// trailing comma is not a usage error.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func run() int {
@@ -52,6 +75,8 @@ func run() int {
 	weight := fs.Float64("weight", farmer.DefaultConfig().Weight, "correlation weight p")
 	strength := fs.Float64("strength", farmer.DefaultConfig().MaxStrength, "max_strength validity threshold")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	replicateTo := fs.String("replicate-to", "", "comma-separated follower addresses to replicate to (serve as primary)")
+	follow := fs.Bool("follow", false, "serve as a replication follower: reads only until promoted")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "farmerd serves a FARMER miner over the wire protocol.\n\nusage: farmerd [flags]\n\nflags:\n")
 		fs.PrintDefaults()
@@ -65,18 +90,20 @@ func run() int {
 
 	logger := log.New(os.Stderr, "farmerd: ", log.LstdFlags)
 	err := daemon.Run(context.Background(), daemon.Options{
-		Addr:      *addr,
-		StorePath: *storePath,
-		Load:      *load,
-		Repair:    *repair,
-		Shards:    *shards,
-		Partition: *partName,
-		Ckpt:      *checkpoint,
-		PrefetchK: *prefetchK,
-		Weight:    weight,
-		Strength:  strength,
-		Drain:     *drain,
-		Logf:      logger.Printf,
+		Addr:        *addr,
+		StorePath:   *storePath,
+		Load:        *load,
+		Repair:      *repair,
+		Shards:      *shards,
+		Partition:   *partName,
+		Ckpt:        *checkpoint,
+		PrefetchK:   *prefetchK,
+		Weight:      weight,
+		Strength:    strength,
+		Drain:       *drain,
+		ReplicateTo: splitAddrs(*replicateTo),
+		Follow:      *follow,
+		Logf:        logger.Printf,
 	})
 	if errors.Is(err, daemon.ErrUsage) {
 		fmt.Fprintf(os.Stderr, "farmerd: %v\n", err)

@@ -2,66 +2,325 @@ package farmer
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync"
 	"time"
 
 	"farmer/internal/rpc"
 )
 
-// RemoteMiner is a Miner served by a farmerd process reached over the wire
-// protocol (internal/rpc): every call is a pipelined request on one
-// connection, so concurrent callers share the link without head-of-line
-// blocking on each other's round trips. Mined degrees cross the wire as
-// exact float64 bit patterns — a remote miner fingerprints identically to
-// the local miner it serves.
+// RemoteMiner is a Miner served by one or more farmerd processes reached
+// over the wire protocol (internal/rpc): every call is a pipelined request
+// on one connection, so concurrent callers share the link without
+// head-of-line blocking on each other's round trips. Mined degrees cross
+// the wire as exact float64 bit patterns — a remote miner fingerprints
+// identically to the local miner it serves.
+//
+// # Failover
+//
+// Dialed with several addresses — a primary and its replication followers
+// (farmerd -replicate-to / -follow) — the client survives server loss: when
+// a call fails with rpc.ErrDisconnected it redials the SAME address first
+// (riding out a transient connection fault, which used to wedge the old
+// single-connection client permanently), then the rest of the list. When a
+// write is refused with rpc.ErrNotPrimary — the server is an un-promoted
+// follower — the client asks it, then each other address, to promote: a
+// primary answers promotion as a no-op, an orphaned follower promotes and
+// takes the writes, and a follower whose primary link is still live refuses
+// (the split-brain guard), leaving the connection serving reads. Only when
+// the whole list is exhausted does the call fail.
+//
+// Mutations are never silently re-sent across a connection loss: a Feed or
+// FeedBatch interrupted by rpc.ErrDisconnected is IN DOUBT (the dying
+// primary may have mined and replicated it without acking), so re-sending
+// it could double-mine those records on the survivor. The call fails with
+// the typed error while the client recovers the connection underneath;
+// the caller resumes exactly by reading Stats().Fed — the survivor's record
+// count, exact because a server acks nothing it has not mined — and
+// re-sending from that record. A write refused with ErrNotPrimary was
+// definitely not applied, so that one IS retried internally after the
+// promotion sweep. Reads always retry.
 type RemoteMiner struct {
-	c *rpc.Client
+	addrs []string
+
+	mu     sync.Mutex
+	c      *rpc.Client // current connection, nil after a drop
+	cur    int         // index into addrs of the current connection
+	closed bool
 }
 
 var _ Miner = (*RemoteMiner)(nil)
 
-// Dial connects to a farmerd at a TCP address and returns the remote miner.
-// ctx bounds the connection attempt only; per-call deadlines come from the
-// contexts passed to the Miner methods.
-func Dial(ctx context.Context, addr string) (*RemoteMiner, error) {
-	c, err := rpc.Dial(ctx, addr)
-	if err != nil {
-		return nil, err
+// Dial connects to a farmerd at the first reachable of the given TCP
+// addresses and returns the remote miner. Later addresses are the failover
+// list, tried in order whenever the current connection dies. ctx bounds the
+// connection attempts only; per-call deadlines come from the contexts
+// passed to the Miner methods.
+func Dial(ctx context.Context, addrs ...string) (*RemoteMiner, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("farmer: Dial needs at least one address")
 	}
-	return &RemoteMiner{c: c}, nil
+	m := &RemoteMiner{addrs: addrs}
+	var firstErr error
+	for i := range addrs {
+		c, err := rpc.Dial(ctx, addrs[i])
+		if err == nil {
+			m.c, m.cur = c, i
+			return m, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+// failoverable reports whether an error means "this connection or server is
+// done for, another server might do better": the transport died underneath
+// us, or an un-promoted follower refused a write.
+func failoverable(err error) bool {
+	return errors.Is(err, rpc.ErrDisconnected) || errors.Is(err, rpc.ErrNotPrimary)
+}
+
+// conn returns the current connection, establishing one if the last died:
+// the dead address is retried first (transient-fault reconnect), then the
+// rest of the list in order — pure connectivity, no role demands, so a
+// reconnected client can keep reading from a follower. Callers that raced:
+// the first through the mutex reconnects, the rest reuse its client.
+func (m *RemoteMiner) conn(ctx context.Context) (*rpc.Client, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, rpc.ErrClientClosed
+	}
+	if m.c != nil {
+		return m.c, nil
+	}
+	var lastErr error
+	for i := 0; i < len(m.addrs); i++ {
+		idx := (m.cur + i) % len(m.addrs)
+		c, err := rpc.Dial(ctx, m.addrs[idx])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		m.c, m.cur = c, idx
+		return c, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: no address reachable", rpc.ErrDisconnected)
+	}
+	return nil, lastErr
+}
+
+// seekWritable finds a server that takes writes after one refused: the
+// current connection is asked to promote (it succeeds exactly when its
+// primary is gone — otherwise the split-brain guard refuses), then each
+// other address is dialed and asked the same. On success the writable
+// connection becomes current; on failure the current (read-capable)
+// connection is kept.
+func (m *RemoteMiner) seekWritable(ctx context.Context) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return rpc.ErrClientClosed
+	}
+	var lastErr error
+	if m.c != nil {
+		if lastErr = m.c.Promote(ctx); lastErr == nil {
+			return nil
+		}
+	}
+	for i := 1; i < len(m.addrs); i++ {
+		idx := (m.cur + i) % len(m.addrs)
+		c, err := rpc.Dial(ctx, m.addrs[idx])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.Promote(ctx); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		if m.c != nil {
+			m.c.Close()
+		}
+		m.c, m.cur = c, idx
+		return nil
+	}
+	return lastErr
+}
+
+// drop discards a connection observed failing (if it is still current).
+func (m *RemoteMiner) drop(c *rpc.Client) {
+	m.mu.Lock()
+	if m.c == c {
+		m.c = nil
+	}
+	m.mu.Unlock()
+	c.Close()
+}
+
+// do runs one call with reconnect-and-failover: at most one attempt per
+// configured address after the initial failure, so a dead cluster fails
+// fast instead of retrying forever. retryDisconnected says whether the call
+// may be re-sent after a connection loss: true for reads and idempotent
+// calls, false for mutations, whose delivery is in doubt once the
+// connection died mid-call (the connection is still recovered for the
+// NEXT call; only the in-doubt send is not repeated).
+func (m *RemoteMiner) do(ctx context.Context, retryDisconnected bool, fn func(c *rpc.Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= len(m.addrs); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c, err := m.conn(ctx)
+		if err != nil {
+			// conn already swept every address; nothing left to try.
+			return err
+		}
+		err = fn(c)
+		if err == nil || !failoverable(err) {
+			return err
+		}
+		lastErr = err
+		if errors.Is(err, rpc.ErrNotPrimary) {
+			// The connection is healthy — the server just refuses writes,
+			// which also means it did NOT apply this call: safe to retry
+			// even for mutations. Find a writable server; if none exists
+			// (primary alive elsewhere, or single-address client), surface
+			// the refusal and keep the connection for reads.
+			if werr := m.seekWritable(ctx); werr != nil {
+				return err
+			}
+			continue
+		}
+		m.drop(c)
+		if !retryDisconnected {
+			// In doubt: reconnect happens on the caller's next call; this
+			// one reports the loss so the caller can resume from
+			// Stats().Fed instead of risking a double-mine.
+			return err
+		}
+	}
+	return lastErr
 }
 
 // Ping round-trips an empty frame and reports the wall-clock latency — the
 // liveness probe behind `farmerctl ping`.
-func (m *RemoteMiner) Ping(ctx context.Context) (time.Duration, error) { return m.c.Ping(ctx) }
+func (m *RemoteMiner) Ping(ctx context.Context) (time.Duration, error) {
+	var rtt time.Duration
+	err := m.do(ctx, true, func(c *rpc.Client) error {
+		var err error
+		rtt, err = c.Ping(ctx)
+		return err
+	})
+	return rtt, err
+}
 
-// Feed implements Miner: one record, one acked round trip.
-func (m *RemoteMiner) Feed(ctx context.Context, r *Record) error { return m.c.Feed(ctx, r) }
+// Feed implements Miner: one record, one acked round trip. On a replicated
+// deployment the ack additionally means every live follower holds the
+// record (see Serve), so an acked Feed survives the primary.
+func (m *RemoteMiner) Feed(ctx context.Context, r *Record) error {
+	return m.do(ctx, false, func(c *rpc.Client) error { return c.Feed(ctx, r) })
+}
 
-// FeedBatch implements Miner: the whole batch travels as one frame and the
-// server mines it with all shards in parallel before acking.
+// FeedBatch implements Miner: the whole batch travels as one frame (split
+// only above the frame bound) and the server mines it with all shards in
+// parallel before acking.
 func (m *RemoteMiner) FeedBatch(ctx context.Context, records []Record) error {
-	return m.c.FeedBatch(ctx, records)
+	return m.do(ctx, false, func(c *rpc.Client) error { return c.FeedBatch(ctx, records) })
 }
 
 // Predict implements Miner.
 func (m *RemoteMiner) Predict(ctx context.Context, f FileID, k int) ([]FileID, error) {
-	return m.c.Predict(ctx, f, k)
+	var out []FileID
+	err := m.do(ctx, true, func(c *rpc.Client) error {
+		var err error
+		out, err = c.Predict(ctx, f, k)
+		return err
+	})
+	return out, err
 }
 
-// Stats implements Miner.
-func (m *RemoteMiner) Stats(ctx context.Context) (ModelStats, error) { return m.c.Stats(ctx) }
+// Stats implements Miner. After a failover, Stats().Fed on the promoted
+// server is the exact-once resume point for callers replaying a journal.
+func (m *RemoteMiner) Stats(ctx context.Context) (ModelStats, error) {
+	var st ModelStats
+	err := m.do(ctx, true, func(c *rpc.Client) error {
+		var err error
+		st, err = c.Stats(ctx)
+		return err
+	})
+	return st, err
+}
 
 // Save implements Miner: the server checkpoints into its own store.
-func (m *RemoteMiner) Save(ctx context.Context) error { return m.c.Save(ctx) }
+func (m *RemoteMiner) Save(ctx context.Context) error {
+	return m.do(ctx, true, func(c *rpc.Client) error { return c.Save(ctx) })
+}
 
 // Load implements Miner: the server restores from its own store.
-func (m *RemoteMiner) Load(ctx context.Context) error { return m.c.Load(ctx) }
+func (m *RemoteMiner) Load(ctx context.Context) error {
+	return m.do(ctx, true, func(c *rpc.Client) error { return c.Load(ctx) })
+}
 
 // CorrelatorList fetches f's full Correlator List with bit-exact degrees —
 // the read the cross-process fingerprint tests use.
 func (m *RemoteMiner) CorrelatorList(ctx context.Context, f FileID) ([]Correlator, error) {
-	return m.c.CorrelatorList(ctx, f)
+	var out []Correlator
+	err := m.do(ctx, true, func(c *rpc.Client) error {
+		var err error
+		out, err = c.CorrelatorList(ctx, f)
+		return err
+	})
+	return out, err
+}
+
+// BackupGroups asks the server to rebuild its replica groups over
+// [0, fileCount) at the given correlation threshold and cut a group-atomic
+// backup of every group (paper §4.3). On a replicating primary the cut is
+// streamed to every follower at the same record boundary, so the returned
+// fingerprint must match each follower's ReplicaGroups read.
+func (m *RemoteMiner) BackupGroups(ctx context.Context, fileCount int, minDegree float64) (ReplicaGroupsInfo, error) {
+	return m.groups(ctx, rpc.GroupsReq{FileCount: fileCount, MinDegree: minDegree})
+}
+
+// ReplicaGroups reads the server's current replica-group state without
+// rebuilding or cutting — works against followers, which refuse the
+// mutating BackupGroups.
+func (m *RemoteMiner) ReplicaGroups(ctx context.Context) (ReplicaGroupsInfo, error) {
+	return m.groups(ctx, rpc.GroupsReq{Read: true})
+}
+
+func (m *RemoteMiner) groups(ctx context.Context, req rpc.GroupsReq) (ReplicaGroupsInfo, error) {
+	var info ReplicaGroupsInfo
+	err := m.do(ctx, true, func(c *rpc.Client) error {
+		gi, err := c.Groups(ctx, req)
+		if err != nil {
+			return err
+		}
+		info = ReplicaGroupsInfo{Fingerprint: gi.Fingerprint, Groups: gi.Groups, Versions: gi.Versions}
+		return nil
+	})
+	return info, err
 }
 
 // Close drains outstanding calls and closes the connection. Idempotent.
-func (m *RemoteMiner) Close() error { return m.c.Close() }
+func (m *RemoteMiner) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	c := m.c
+	m.c = nil
+	m.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	return c.Close()
+}

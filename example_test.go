@@ -87,6 +87,62 @@ func ExampleDial() {
 	// Output: after file 2, prefetch: [3]
 }
 
+// ExampleDial_failover runs a replicated pair — a primary streaming every
+// acked record to a follower — and a multi-address client that survives the
+// primary's death: the next write fails over to the follower, which
+// promotes itself because its primary link is gone, and serves the same
+// mined state (replication is bit-identical, so predictions are too).
+func ExampleDial_failover() {
+	ctx := context.Background()
+	newServed := func(cfg farmer.ServeConfig) (*farmer.LocalMiner, string, func()) {
+		m, err := farmer.Open(farmer.DefaultConfig(), farmer.WithShards(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		sctx, stop := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() { done <- farmer.Serve(sctx, lis, m, cfg) }()
+		return m, lis.Addr().String(), func() { stop(); <-done; m.Close() }
+	}
+
+	_, followerAddr, stopFollower := newServed(farmer.ServeConfig{Follower: true})
+	defer stopFollower()
+	_, primaryAddr, stopPrimary := newServed(farmer.ServeConfig{ReplicateTo: []string{followerAddr}})
+
+	// The client lists the primary first and the follower as its fallback.
+	miner, err := farmer.Dial(ctx, primaryAddr, followerAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer miner.Close()
+	if err := miner.FeedBatch(ctx, sequence(1, 2, 3)); err != nil {
+		log.Fatal(err)
+	}
+
+	stopPrimary() // the primary dies; every acked record is on the follower
+
+	// Reads fail over transparently. (A Feed/FeedBatch interrupted by the
+	// crash itself would return farmer.ErrDisconnected; resume from
+	// Stats().Fed — see RemoteMiner's doc.)
+	st, err := miner.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	next, err := miner.Predict(ctx, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("records surviving the primary:", st.Fed)
+	fmt.Println("after file 2, prefetch:", next)
+	// Output:
+	// records surviving the primary: 36
+	// after file 2, prefetch: [3]
+}
+
 // ExampleMiner shows why the interface exists: the same function serves
 // predictions from an in-process miner and from a remote one.
 func ExampleMiner() {

@@ -1,0 +1,12 @@
+package farmer
+
+// Test seams for the farmer package's external (farmer_test) tests.
+
+// SetSaveToStore replaces the checkpoint body behind LocalMiner.Save and
+// returns a restore function — how the drain tests stand in a store write
+// that hangs.
+func SetSaveToStore(fn func(sm *ShardedModel, st *Store) error) (restore func()) {
+	old := saveToStore
+	saveToStore = fn
+	return func() { saveToStore = old }
+}

@@ -45,9 +45,23 @@ import (
 	"farmer/internal/kvstore"
 	"farmer/internal/partition"
 	"farmer/internal/prefetch"
+	"farmer/internal/rpc"
 	"farmer/internal/trace"
 	"farmer/internal/tracegen"
 	"farmer/internal/vsm"
+)
+
+// Wire-level error sentinels, re-exported for failover-aware callers.
+var (
+	// ErrDisconnected marks a remote call that failed because the
+	// connection died underneath it. A multi-address Dial client consumes
+	// it internally (reconnect, then failover); it escapes to the caller
+	// only when every configured address is down.
+	ErrDisconnected = rpc.ErrDisconnected
+	// ErrNotPrimary marks a write refused by an un-promoted replication
+	// follower (farmerd -follow) — dial the primary, or include it in a
+	// multi-address Dial so failover promotes it when the primary dies.
+	ErrNotPrimary = rpc.ErrNotPrimary
 )
 
 // Core model types, re-exported.

@@ -336,3 +336,24 @@ func (m *Model) ResetWindow() {
 	m.window = m.window[:0]
 	m.g.ResetWindow()
 }
+
+// WindowTail returns a copy of the current lookahead window, oldest first.
+func (m *Model) WindowTail() []trace.FileID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]trace.FileID(nil), m.window...)
+}
+
+// PrimeWindow replaces the lookahead window (model and graph, which track
+// the same content) without feeding — the restore half of WindowTail. A
+// model bootstrapped from a checkpoint plus a primed window mines every
+// subsequent record exactly as the checkpointed model would have.
+func (m *Model) PrimeWindow(w []trace.FileID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(w) > m.winSize {
+		w = w[len(w)-m.winSize:]
+	}
+	m.window = append(m.window[:0], w...)
+	m.g.SetWindow(w)
+}

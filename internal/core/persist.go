@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 
+	"farmer/internal/graph"
 	"farmer/internal/kvstore"
 	"farmer/internal/trace"
 	"farmer/internal/vsm"
@@ -22,12 +24,24 @@ import (
 //
 //	c/<fileID>  Correlator List: count, then (file, degree, sim, freq)*
 //	v/<fileID>  semantic vector: scalar count, scalars, path
+//	g/<fileID>  correlation-graph node: total N_x, count, (to, N_xy)*
 //	m/config    weight, maxStrength, fed counter
+//	m/window    lookahead window: count, file ids (oldest first)
+//
+// The graph node and window records make a checkpoint COMPLETE: a model
+// restored from one mines every subsequent record bit-identically to the
+// model that wrote it. (Stores written before these records existed still
+// load — the graph and window simply start empty, which is the old
+// behavior.) That completeness is what farmerd replication rests on: a
+// follower bootstraps from the primary's checkpoint and then continues from
+// the live record stream with no divergence window.
 
 const (
 	keyPrefixList   = "c/"
 	keyPrefixVector = "v/"
+	keyPrefixGraph  = "g/"
 	keyConfig       = "m/config"
+	keyWindow       = "m/window"
 )
 
 // prefixEnd returns the exclusive upper Scan bound covering every key that
@@ -54,11 +68,19 @@ func vectorKey(f trace.FileID) []byte {
 	return k
 }
 
-// SaveTo writes the model's mined state (Correlator Lists, semantic vectors
-// and the tunables needed to keep mining) into the store. Repeated saves
-// into the same store are checkpoints: stale keys from a previous save —
-// lists the threshold filter has since dropped — are pruned, so the store
-// always holds exactly the model's current state.
+func graphKey(f trace.FileID) []byte {
+	k := make([]byte, len(keyPrefixGraph)+4)
+	copy(k, keyPrefixGraph)
+	binary.BigEndian.PutUint32(k[len(keyPrefixGraph):], uint32(f))
+	return k
+}
+
+// SaveTo writes the model's mined state (Correlator Lists, semantic vectors,
+// the correlation graph, the lookahead window and the tunables needed to
+// keep mining) into the store. Repeated saves into the same store are
+// checkpoints: stale keys from a previous save — lists the threshold filter
+// has since dropped — are pruned, so the store always holds exactly the
+// model's current state.
 func (m *Model) SaveTo(s *kvstore.Store) error {
 	saved := newSavedKeys()
 	if err := m.saveState(s, saved); err != nil {
@@ -67,22 +89,30 @@ func (m *Model) SaveTo(s *kvstore.Store) error {
 	if err := saved.prune(s); err != nil {
 		return err
 	}
+	if err := saveWindow(s, m.WindowTail()); err != nil {
+		return err
+	}
 	m.mu.RLock()
 	fed := m.fed
 	m.mu.RUnlock()
 	return saveConfig(s, m.cfg.Weight, m.cfg.MaxStrength, fed)
 }
 
-// savedKeys tracks which list/vector keys a checkpoint wrote, so prune can
-// delete the store's leftovers from earlier checkpoints (a list dropped by
-// the validity filter must not resurrect on reload).
+// savedKeys tracks which list/vector/graph keys a checkpoint wrote, so prune
+// can delete the store's leftovers from earlier checkpoints (a list dropped
+// by the validity filter must not resurrect on reload).
 type savedKeys struct {
-	lists map[trace.FileID]struct{}
-	vecs  map[trace.FileID]struct{}
+	lists  map[trace.FileID]struct{}
+	vecs   map[trace.FileID]struct{}
+	graphs map[trace.FileID]struct{}
 }
 
 func newSavedKeys() *savedKeys {
-	return &savedKeys{lists: make(map[trace.FileID]struct{}), vecs: make(map[trace.FileID]struct{})}
+	return &savedKeys{
+		lists:  make(map[trace.FileID]struct{}),
+		vecs:   make(map[trace.FileID]struct{}),
+		graphs: make(map[trace.FileID]struct{}),
+	}
 }
 
 func (sk *savedKeys) prune(s *kvstore.Store) error {
@@ -101,6 +131,7 @@ func (sk *savedKeys) prune(s *kvstore.Store) error {
 	}
 	collect(keyPrefixList, sk.lists)
 	collect(keyPrefixVector, sk.vecs)
+	collect(keyPrefixGraph, sk.graphs)
 	for _, k := range stale {
 		if err := s.Delete(k); err != nil {
 			return fmt.Errorf("core: pruning stale key %q: %w", k, err)
@@ -150,7 +181,59 @@ func (m *Model) saveState(s *kvstore.Store, saved *savedKeys) error {
 		}
 		saved.vecs[f] = struct{}{}
 	}
+	var gerr error
+	m.g.Export(func(from trace.FileID, total float64, edges []graph.Edge) bool {
+		buf.Reset()
+		putF64(total)
+		putU32(uint32(len(edges)))
+		for _, e := range edges {
+			putU32(uint32(e.To))
+			putF64(e.Weight)
+		}
+		if gerr = s.Put(graphKey(from), buf.Bytes()); gerr != nil {
+			gerr = fmt.Errorf("core: saving graph node %d: %w", from, gerr)
+			return false
+		}
+		saved.graphs[from] = struct{}{}
+		return true
+	})
+	return gerr
+}
+
+// saveWindow writes the m/window record (count + file ids, oldest first).
+func saveWindow(s *kvstore.Store, w []trace.FileID) error {
+	buf := make([]byte, 0, 4+4*len(w))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w)))
+	for _, f := range w {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f))
+	}
+	if err := s.Put([]byte(keyWindow), buf); err != nil {
+		return fmt.Errorf("core: saving window: %w", err)
+	}
 	return nil
+}
+
+// readWindow reads the m/window record; an absent record (a pre-window
+// store) is an empty window.
+func readWindow(s *kvstore.Store) ([]trace.FileID, error) {
+	raw, ok := s.Get([]byte(keyWindow))
+	if !ok {
+		return nil, nil
+	}
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("core: corrupt persisted window (%d bytes)", len(raw))
+	}
+	// Compare in int, not uint32: 4*n wraps at n >= 2^30, which would let a
+	// corrupt count pass the check and panic on the slice below.
+	n := int(binary.LittleEndian.Uint32(raw[:4]))
+	if len(raw)-4 != 4*n {
+		return nil, fmt.Errorf("core: corrupt persisted window: %d ids in %d bytes", n, len(raw))
+	}
+	w := make([]trace.FileID, n)
+	for i := range w {
+		w[i] = trace.FileID(binary.LittleEndian.Uint32(raw[4+4*i:]))
+	}
+	return w, nil
 }
 
 // saveConfig writes the m/config record binding a saved state to its mining
@@ -199,10 +282,20 @@ func (m *Model) LoadFrom(s *kvstore.Store) error {
 	// one.
 	lists := make(map[trace.FileID][]Correlator)
 	vecs := make(map[trace.FileID]vsm.Vector)
+	type gnode struct {
+		total float64
+		edges []graph.Edge
+	}
+	gnodes := make(map[trace.FileID]gnode)
 	if err := scanState(s,
 		func(f trace.FileID, list []Correlator) { lists[f] = list },
 		func(f trace.FileID, vec vsm.Vector) { vecs[f] = vec },
+		func(f trace.FileID, total float64, edges []graph.Edge) { gnodes[f] = gnode{total, edges} },
 	); err != nil {
+		return err
+	}
+	window, err := readWindow(s)
+	if err != nil {
 		return err
 	}
 	m.mu.Lock()
@@ -213,14 +306,22 @@ func (m *Model) LoadFrom(s *kvstore.Store) error {
 	for f, vec := range vecs {
 		m.vectors[f] = vec
 	}
+	for f, n := range gnodes {
+		m.g.RestoreNode(f, n.total, n.edges)
+	}
 	m.mu.Unlock()
+	m.PrimeWindow(window)
 	return nil
 }
 
-// scanState decodes every persisted list and vector, handing each to the
-// callback that installs it — shared by the whole-model and routed
-// (per-owning-shard) load paths.
-func scanState(s *kvstore.Store, putList func(trace.FileID, []Correlator), putVec func(trace.FileID, vsm.Vector)) error {
+// scanState decodes every persisted list, vector and graph node, handing
+// each to the callback that installs it — shared by the whole-model and
+// routed (per-owning-shard) load paths. putGraph may be nil to skip graph
+// records.
+func scanState(s *kvstore.Store,
+	putList func(trace.FileID, []Correlator),
+	putVec func(trace.FileID, vsm.Vector),
+	putGraph func(trace.FileID, float64, []graph.Edge)) error {
 	var loadErr error
 	s.Scan([]byte(keyPrefixList), prefixEnd(keyPrefixList), func(k, v []byte) bool {
 		if len(k) != len(keyPrefixList)+4 {
@@ -253,6 +354,23 @@ func scanState(s *kvstore.Store, putList func(trace.FileID, []Correlator), putVe
 		putVec(f, vec)
 		return true
 	})
+	if loadErr != nil || putGraph == nil {
+		return loadErr
+	}
+	s.Scan([]byte(keyPrefixGraph), prefixEnd(keyPrefixGraph), func(k, v []byte) bool {
+		if len(k) != len(keyPrefixGraph)+4 {
+			loadErr = fmt.Errorf("core: bad graph key %q", k)
+			return false
+		}
+		f := trace.FileID(binary.BigEndian.Uint32(k[len(keyPrefixGraph):]))
+		total, edges, err := decodeGraphNode(v)
+		if err != nil {
+			loadErr = fmt.Errorf("core: graph node %d: %w", f, err)
+			return false
+		}
+		putGraph(f, total, edges)
+		return true
+	})
 	return loadErr
 }
 
@@ -281,7 +399,44 @@ func (s *ShardedModel) SaveMerged(st *kvstore.Store) error {
 	if err := saved.prune(st); err != nil {
 		return err
 	}
+	if err := saveWindow(st, s.windowTailLocked()); err != nil {
+		return err
+	}
 	return saveConfig(st, s.cfg.Weight, s.cfg.MaxStrength, s.disp.Dispatched())
+}
+
+// windowTailLocked reads the ensemble's live lookahead window holding dmu:
+// the dispatcher's window when dispatch routes events, the lone Model's own
+// window on the single-shard fast path (which bypasses the dispatcher).
+func (s *ShardedModel) windowTailLocked() []trace.FileID {
+	if len(s.shards) == 1 {
+		return s.shards[0].WindowTail()
+	}
+	return s.disp.Window()
+}
+
+// WindowTail returns a copy of the ensemble's lookahead window, oldest
+// first.
+func (s *ShardedModel) WindowTail() []trace.FileID {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.windowTailLocked()
+}
+
+// PrimeWindow replaces the ensemble's lookahead window without feeding — the
+// restore half of WindowTail (see Model.PrimeWindow).
+func (s *ShardedModel) PrimeWindow(w []trace.FileID) {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	s.primeWindowLocked(w)
+}
+
+func (s *ShardedModel) primeWindowLocked(w []trace.FileID) {
+	if len(s.shards) == 1 {
+		s.shards[0].PrimeWindow(w)
+		return
+	}
+	s.disp.PrimeWindow(w)
 }
 
 // LoadMerged restores a merged save into a freshly-constructed ensemble —
@@ -316,14 +471,27 @@ func (s *ShardedModel) LoadMerged(st *kvstore.Store) error {
 	n := len(s.shards)
 	lists := make([]map[trace.FileID][]Correlator, n)
 	vecs := make([]map[trace.FileID]vsm.Vector, n)
+	type gnode struct {
+		total float64
+		edges []graph.Edge
+	}
+	gnodes := make([]map[trace.FileID]gnode, n)
 	for i := 0; i < n; i++ {
 		lists[i] = make(map[trace.FileID][]Correlator)
 		vecs[i] = make(map[trace.FileID]vsm.Vector)
+		gnodes[i] = make(map[trace.FileID]gnode)
 	}
 	if err := scanState(st,
 		func(f trace.FileID, list []Correlator) { lists[s.ownerOf(f)][f] = list },
 		func(f trace.FileID, vec vsm.Vector) { vecs[s.ownerOf(f)][f] = vec },
+		func(f trace.FileID, total float64, edges []graph.Edge) {
+			gnodes[s.ownerOf(f)][f] = gnode{total, edges}
+		},
 	); err != nil {
+		return err
+	}
+	window, err := readWindow(st)
+	if err != nil {
 		return err
 	}
 	for i, m := range s.shards {
@@ -333,6 +501,9 @@ func (s *ShardedModel) LoadMerged(st *kvstore.Store) error {
 		}
 		for f, vec := range vecs[i] {
 			m.vectors[f] = vec
+		}
+		for f, gn := range gnodes[i] {
+			m.g.RestoreNode(f, gn.total, gn.edges)
 		}
 		m.mu.Unlock()
 	}
@@ -344,6 +515,7 @@ func (s *ShardedModel) LoadMerged(st *kvstore.Store) error {
 		m.fed = fed
 		m.mu.Unlock()
 	}
+	s.primeWindowLocked(window)
 	s.disp.Advance(fed)
 	return nil
 }
@@ -377,6 +549,124 @@ func decodeList(raw []byte) ([]Correlator, error) {
 		})
 	}
 	return list, nil
+}
+
+func decodeGraphNode(raw []byte) (total float64, edges []graph.Edge, err error) {
+	if len(raw) < 12 {
+		return 0, nil, fmt.Errorf("graph node value is %d bytes, want >= 12", len(raw))
+	}
+	le := binary.LittleEndian
+	total = math.Float64frombits(le.Uint64(raw[:8]))
+	// Compare in int, not uint32: 12*n wraps for large corrupt counts,
+	// which would pass the check, demand a multi-GiB allocation and then
+	// panic indexing raw — reachable from a hostile catch-up snapshot, so
+	// this must be a decode error, never a crash.
+	n := int(le.Uint32(raw[8:12]))
+	if len(raw)-12 != 12*n {
+		return 0, nil, fmt.Errorf("graph node: %d edges in %d bytes", n, len(raw))
+	}
+	edges = make([]graph.Edge, n)
+	for i := range edges {
+		off := 12 + 12*i
+		edges[i] = graph.Edge{
+			To:     trace.FileID(le.Uint32(raw[off:])),
+			Weight: math.Float64frombits(le.Uint64(raw[off+4:])),
+		}
+	}
+	return total, edges, nil
+}
+
+// Lister is the read surface a state fingerprint needs; Model and
+// ShardedModel both satisfy it.
+type Lister interface {
+	CorrelatorList(f trace.FileID) []Correlator
+}
+
+// StateFingerprint hashes the complete mined correlation state over the
+// dense FileID space [0, fileCount): list lengths, successor ids and the
+// exact float64 bits of every degree component. Two miners agree on the
+// fingerprint iff their Correlator Lists are bit-identical — the equality
+// the replication layer verifies after a catch-up transfer and the replay
+// harness asserts between deployment shapes.
+func StateFingerprint(m Lister, fileCount int) uint64 {
+	return fingerprintLists(m.CorrelatorList, fileCount)
+}
+
+// StoreFingerprint computes the StateFingerprint of the model state
+// persisted in a store, without constructing a model — how a replication
+// follower verifies a checkpoint snapshot BEFORE installing it.
+func StoreFingerprint(st *kvstore.Store, fileCount int) (uint64, error) {
+	lists := make(map[trace.FileID][]Correlator)
+	if err := scanState(st,
+		func(f trace.FileID, list []Correlator) { lists[f] = list },
+		func(trace.FileID, vsm.Vector) {},
+		nil,
+	); err != nil {
+		return 0, err
+	}
+	return fingerprintLists(func(f trace.FileID) []Correlator { return lists[f] }, fileCount), nil
+}
+
+func fingerprintLists(get func(trace.FileID) []Correlator, fileCount int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wr := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for f := 0; f < fileCount; f++ {
+		list := get(trace.FileID(f))
+		if len(list) == 0 {
+			continue
+		}
+		wr(uint64(f))
+		wr(uint64(len(list)))
+		for _, c := range list {
+			wr(uint64(c.File))
+			wr(math.Float64bits(c.Degree))
+			wr(math.Float64bits(c.Sim))
+			wr(math.Float64bits(c.Freq))
+		}
+	}
+	return h.Sum64()
+}
+
+// trackedFileCount reports 1 + the highest FileID carrying any mined state
+// (list, vector or graph node), holding m.mu.
+func (m *Model) trackedFileCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	max := -1
+	for f := range m.lists {
+		if int(f) > max {
+			max = int(f)
+		}
+	}
+	for f := range m.vectors {
+		if int(f) > max {
+			max = int(f)
+		}
+	}
+	m.g.Export(func(from trace.FileID, _ float64, _ []graph.Edge) bool {
+		if int(from) > max {
+			max = int(from)
+		}
+		return true
+	})
+	return max + 1
+}
+
+// TrackedFileCount reports 1 + the highest FileID the ensemble holds any
+// mined state for — the dense fingerprint bound a checkpoint cut ships so
+// both ends hash the same FileID space.
+func (s *ShardedModel) TrackedFileCount() int {
+	max := 0
+	for _, m := range s.shards {
+		if n := m.trackedFileCount(); n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 func decodeVector(raw []byte) (vsm.Vector, error) {

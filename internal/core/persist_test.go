@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -506,5 +507,187 @@ func TestLoadMergedRefusesFedEnsemble(t *testing.T) {
 	}
 	if sm.Fed() != 1 {
 		t.Fatalf("refused load disturbed the fed counter: %d", sm.Fed())
+	}
+}
+
+// TestCheckpointIsComplete is the property farmerd replication rests on: a
+// model restored from a mid-stream checkpoint (lists, vectors, graph AND
+// lookahead window) and fed the remainder of the trace reaches a state
+// bit-identical to a model that mined the whole trace continuously. Before
+// graph/window persistence, the restored model silently diverged — every
+// post-restore Frequency() started from an empty graph.
+func TestCheckpointIsComplete(t *testing.T) {
+	tr := tracegen.HP(6000).MustGenerate()
+	cfg := DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(true)
+	cut := len(tr.Records) / 2
+
+	ref := New(cfg)
+	ref.FeedTrace(tr)
+	want := StateFingerprint(ref, tr.FileCount)
+
+	m := New(cfg)
+	for i := 0; i < cut; i++ {
+		m.Feed(&tr.Records[i])
+	}
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(cfg)
+	if err := m2.LoadFrom(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := cut; i < len(tr.Records); i++ {
+		m2.Feed(&tr.Records[i])
+	}
+	if got := StateFingerprint(m2, tr.FileCount); got != want {
+		t.Fatalf("restored model diverged: fingerprint %#x != continuous %#x", got, want)
+	}
+	if m2.Fed() != uint64(len(tr.Records)) {
+		t.Fatalf("fed %d, want %d", m2.Fed(), len(tr.Records))
+	}
+}
+
+// TestCheckpointIsCompleteMerged: the same completeness property for a
+// sharded ensemble checkpointed with SaveMerged mid-stream and restored at
+// a different stripe count.
+func TestCheckpointIsCompleteMerged(t *testing.T) {
+	tr := tracegen.HP(6000).MustGenerate()
+	cfg := DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(true)
+	cut := len(tr.Records) / 3
+
+	refCfg := cfg
+	ref := New(refCfg)
+	ref.FeedTrace(tr)
+	want := StateFingerprint(ref, tr.FileCount)
+
+	cfg.Shards = 3
+	sm := NewSharded(cfg)
+	sm.FeedBatch(tr.Records[:cut])
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := sm.SaveMerged(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 5} {
+		cfg.Shards = shards
+		sm2 := NewSharded(cfg)
+		if err := sm2.LoadMerged(s); err != nil {
+			t.Fatal(err)
+		}
+		sm2.FeedBatch(tr.Records[cut:])
+		if got := StateFingerprint(sm2, tr.FileCount); got != want {
+			t.Fatalf("shards=%d: restored ensemble diverged: %#x != %#x", shards, got, want)
+		}
+	}
+}
+
+// TestStoreFingerprintMatchesState: the store-side fingerprint (what a
+// replication follower verifies before installing a snapshot) equals the
+// model-side fingerprint of the state that wrote it.
+func TestStoreFingerprintMatchesState(t *testing.T) {
+	m := minedHP(t, 3000)
+	fc := m.trackedFileCount()
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := m.SaveTo(s); err != nil {
+		t.Fatal(err)
+	}
+	want := StateFingerprint(m, fc)
+	got, err := StoreFingerprint(s, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("store fingerprint %#x != state fingerprint %#x", got, want)
+	}
+}
+
+// TestWindowTailPrimeWindow: the public window round trip used by the
+// replication bootstrap, at both shard shapes.
+func TestWindowTailPrimeWindow(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		cfg := DefaultConfig()
+		cfg.Mask = vsm.DefaultMask(true)
+		cfg.Shards = shards
+		sm := NewSharded(cfg)
+		for i := 0; i < 10; i++ {
+			sm.Feed(&trace.Record{File: trace.FileID(i), Path: fmt.Sprintf("/f/%d", i)})
+		}
+		w := sm.WindowTail()
+		want := []trace.FileID{7, 8, 9} // window 3, oldest first
+		if !reflect.DeepEqual(w, want) {
+			t.Fatalf("shards=%d: window %v, want %v", shards, w, want)
+		}
+		fresh := NewSharded(cfg)
+		fresh.PrimeWindow(w)
+		if got := fresh.WindowTail(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: primed window %v, want %v", shards, got, want)
+		}
+		// Priming more than the window keeps the most recent entries.
+		fresh.PrimeWindow([]trace.FileID{1, 2, 3, 4, 5})
+		if got := fresh.WindowTail(); !reflect.DeepEqual(got, []trace.FileID{3, 4, 5}) {
+			t.Fatalf("shards=%d: overlong prime kept %v", shards, got)
+		}
+	}
+}
+
+// TestTrackedFileCount: the dense fingerprint bound follows the highest
+// file id holding any mined state.
+func TestTrackedFileCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(true)
+	cfg.Shards = 2
+	sm := NewSharded(cfg)
+	if got := sm.TrackedFileCount(); got != 0 {
+		t.Fatalf("empty ensemble tracks %d", got)
+	}
+	for i := 0; i < 4; i++ {
+		sm.Feed(&trace.Record{File: trace.FileID(100 + i), Path: "/shared/file"})
+	}
+	if got := sm.TrackedFileCount(); got != 104 {
+		t.Fatalf("tracked %d, want 104", got)
+	}
+}
+
+// TestCorruptCountsRejectedNotPanic: length checks on persisted graph-node
+// and window records must be overflow-proof — a huge corrupt count
+// (n*elemSize wrapping past 2^32) has to be a decode error, never a
+// multi-GiB allocation followed by an index panic. Reachable from a hostile
+// replication catch-up snapshot, not just a bad disk.
+func TestCorruptCountsRejectedNotPanic(t *testing.T) {
+	// Graph node: 12-byte value (total + count only) claiming 2^30 edges;
+	// 12*2^30 mod 2^32 == 0 would have passed the old uint32 comparison.
+	raw := make([]byte, 12)
+	binary.LittleEndian.PutUint32(raw[8:12], 1<<30)
+	if _, _, err := decodeGraphNode(raw); err == nil {
+		t.Fatal("overflowing edge count accepted")
+	}
+
+	// Window record with the same wrap: 4 bytes claiming 2^30 ids.
+	s, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	wraw := make([]byte, 4)
+	binary.LittleEndian.PutUint32(wraw, 1<<30)
+	if err := s.Put([]byte("m/window"), wraw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readWindow(s); err == nil {
+		t.Fatal("overflowing window count accepted")
 	}
 }

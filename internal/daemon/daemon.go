@@ -34,7 +34,15 @@ type Options struct {
 	Weight    *float64      // correlation weight p (nil = paper default)
 	Strength  *float64      // max_strength threshold (nil = paper default)
 	Drain     time.Duration // graceful shutdown bound (0 = Serve default)
-	Logf      func(format string, args ...any)
+	// ReplicateTo lists follower farmerd addresses this daemon replicates
+	// to (it serves as the replication primary). Follow starts the daemon
+	// as a promotable follower instead; the two are mutually exclusive.
+	// Followers bootstrap from the primary's catch-up checkpoint, so Follow
+	// excludes Load (state comes from the primary, not the local store; the
+	// store still receives this follower's own checkpoints).
+	ReplicateTo []string
+	Follow      bool
+	Logf        func(format string, args ...any)
 }
 
 // Run serves a miner built from o until SIGINT/SIGTERM (or ctx cancels),
@@ -57,6 +65,17 @@ func Run(ctx context.Context, o Options) error {
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("%w: -shards %d is negative", ErrUsage, o.Shards)
+	}
+	if o.Follow && len(o.ReplicateTo) > 0 {
+		return fmt.Errorf("%w: -follow and -replicate-to are mutually exclusive (chained replication is not supported)", ErrUsage)
+	}
+	if o.Follow && o.Load {
+		return fmt.Errorf("%w: -follow excludes -load (a follower bootstraps from its primary's checkpoint)", ErrUsage)
+	}
+	for _, addr := range o.ReplicateTo {
+		if addr == "" {
+			return fmt.Errorf("%w: -replicate-to contains an empty address", ErrUsage)
+		}
 	}
 	if o.Partition == "" {
 		o.Partition = "stripe"
@@ -104,13 +123,23 @@ func Run(ctx context.Context, o Options) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	logf("serving on %s (shards=%d partition=%s store=%q)", lis.Addr(), o.Shards, o.Partition, o.StorePath)
+	role := "standalone"
+	switch {
+	case o.Follow:
+		role = "follower"
+	case len(o.ReplicateTo) > 0:
+		role = fmt.Sprintf("primary->%v", o.ReplicateTo)
+	}
+	logf("serving on %s (shards=%d partition=%s store=%q role=%s)", lis.Addr(), o.Shards, o.Partition, o.StorePath, role)
 
 	sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = farmer.Serve(sctx, lis, miner, farmer.ServeConfig{
 		Checkpoint:   o.Ckpt,
 		DrainTimeout: o.Drain,
+		ReplicateTo:  o.ReplicateTo,
+		Follower:     o.Follow,
+		Logf:         logf,
 	})
 	if pf := miner.Prefetcher(); pf != nil {
 		pf.Stop()

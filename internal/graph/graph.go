@@ -224,6 +224,52 @@ func (g *Graph) MemoryBytes() int64 {
 	return b
 }
 
+// Export visits every node (unspecified order) with its exact accumulated
+// state: the outbound total N_x — which includes credit from since-evicted
+// edges, so it is NOT derivable from the surviving edge weights — and the
+// out-edges sorted by ascending file id. Return false to stop early. This is
+// the read half of graph persistence: a checkpoint that omitted the graph
+// would make every post-restore Frequency() start from zero and silently
+// diverge from a continuously-mined model.
+func (g *Graph) Export(fn func(from trace.FileID, total float64, edges []Edge) bool) {
+	for id, nd := range g.nodes {
+		out := make([]Edge, 0, len(nd.edges))
+		for to, w := range nd.edges {
+			out = append(out, Edge{To: to, Weight: w})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+		if !fn(id, nd.total, out) {
+			return
+		}
+	}
+}
+
+// RestoreNode installs one exported node exactly — total and edge weights as
+// given, replacing any existing node for the same file.
+func (g *Graph) RestoreNode(from trace.FileID, total float64, edges []Edge) {
+	n := &node{total: total, edges: make(map[trace.FileID]float64, len(edges))}
+	for _, e := range edges {
+		n.edges[e.To] = e.Weight
+	}
+	g.nodes[from] = n
+}
+
+// Window returns a copy of the lookahead window, oldest first.
+func (g *Graph) Window() []trace.FileID {
+	return append([]trace.FileID(nil), g.window...)
+}
+
+// SetWindow replaces the lookahead window (trimmed to the configured width,
+// keeping the most recent entries) — the restore half of Window, so a
+// checkpointed miner resumes crediting exactly the predecessors a
+// continuously-fed one would.
+func (g *Graph) SetWindow(w []trace.FileID) {
+	if len(w) > g.cfg.Window {
+		w = w[len(w)-g.cfg.Window:]
+	}
+	g.window = append(g.window[:0], w...)
+}
+
 // Prune removes edges whose frequency F falls below minFreq, dropping nodes
 // that become edgeless. It returns the number of edges removed.
 func (g *Graph) Prune(minFreq float64) int {

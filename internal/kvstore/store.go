@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -277,7 +278,28 @@ func (s *Store) Compact() error {
 		// stays durable despite the failed swap.
 		return s.reattachWAL(fmt.Errorf("kvstore: compacting: %w", err))
 	}
+	// Crash-consistency rule: rename(2) only promises the swap is durable
+	// once the PARENT DIRECTORY is synced — fsyncing the file covers its
+	// contents, not the directory entry pointing at it. Without this, a
+	// crash right after compaction can resurrect the old (pre-compaction)
+	// WAL, silently undoing every checkpoint the compaction folded in.
+	if err := syncDir(s.path); err != nil {
+		return s.reattachWAL(fmt.Errorf("kvstore: compacting: syncing directory: %w", err))
+	}
 	return s.reattachWAL(nil)
+}
+
+// syncDir fsyncs the directory containing path.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 // reattachWAL reopens the append handle on s.path after Compact dropped the

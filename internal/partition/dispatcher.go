@@ -140,3 +140,20 @@ func (d *Dispatcher) Fan(owners []Owner, r *trace.Record) uint64 {
 // ResetWindow forgets the lookahead window (stream boundary) while keeping
 // the sequence counter.
 func (d *Dispatcher) ResetWindow() { d.window = d.window[:0] }
+
+// Window returns a copy of the lookahead window, oldest first. Callers
+// serialize with Dispatch, like every window operation.
+func (d *Dispatcher) Window() []trace.FileID {
+	return append([]trace.FileID(nil), d.window...)
+}
+
+// PrimeWindow replaces the lookahead window (trimmed to the configured
+// width, keeping the most recent entries) without dispatching or advancing
+// the sequence — how a checkpoint-bootstrapped replica resumes crediting
+// exactly the predecessors the checkpointing dispatcher would have.
+func (d *Dispatcher) PrimeWindow(w []trace.FileID) {
+	if len(w) > d.gcfg.Window {
+		w = w[len(w)-d.gcfg.Window:]
+	}
+	d.window = append(d.window[:0], w...)
+}

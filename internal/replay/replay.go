@@ -19,10 +19,7 @@
 package replay
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
-	"math"
 
 	"farmer/internal/core"
 	"farmer/internal/hust"
@@ -41,29 +38,12 @@ type lister interface {
 // Fingerprint hashes the complete mined correlation state over the dense
 // FileID space [0, fileCount): list lengths, successor ids and the exact
 // float64 bits of every degree component. Two miners agree on the
-// fingerprint iff their mined state is bit-identical.
+// fingerprint iff their mined state is bit-identical. It delegates to
+// core.StateFingerprint, the same hash the replication layer verifies
+// catch-up transfers with, so the harness and the wire agree by
+// construction.
 func Fingerprint(m lister, fileCount int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	wr := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	for f := 0; f < fileCount; f++ {
-		list := m.CorrelatorList(trace.FileID(f))
-		if len(list) == 0 {
-			continue
-		}
-		wr(uint64(f))
-		wr(uint64(len(list)))
-		for _, c := range list {
-			wr(uint64(c.File))
-			wr(math.Float64bits(c.Degree))
-			wr(math.Float64bits(c.Sim))
-			wr(math.Float64bits(c.Freq))
-		}
-	}
-	return h.Sum64()
+	return core.StateFingerprint(m, fileCount)
 }
 
 // MineSequential feeds the trace through the paper-exact single-lock Model

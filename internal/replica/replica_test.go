@@ -3,6 +3,7 @@ package replica
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"farmer/internal/core"
 	"farmer/internal/trace"
@@ -131,4 +132,120 @@ func TestConcurrentBackups(t *testing.T) {
 	if mgr.Version(0) != 400 {
 		t.Fatalf("version = %d, want 400 (no lost updates)", mgr.Version(0))
 	}
+}
+
+// TestRebuildReplacesGroups: a regroup over evolved mined state replaces
+// the grouping atomically and deterministically (two managers rebuilt from
+// the same model fingerprint identically), and backup versions survive.
+func TestRebuildReplacesGroups(t *testing.T) {
+	m, files := minedModel(t)
+	mgr := NewManager()
+	if err := mgr.BuildGroups(m, files, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.BackupAll() != mgr.Groups() {
+		t.Fatal("BackupAll did not cut every group")
+	}
+	cuts := mgr.VersionTotal()
+	if cuts == 0 {
+		t.Fatal("no versions after BackupAll")
+	}
+	if err := mgr.Rebuild(m, files, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Groups() == 0 {
+		t.Fatal("rebuild produced no groups")
+	}
+	if got := mgr.VersionTotal(); got != cuts {
+		t.Fatalf("rebuild disturbed backup versions: %d != %d", got, cuts)
+	}
+
+	other := NewManager()
+	if err := other.Rebuild(m, files, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	other.BackupAll()
+	mgr2 := NewManager()
+	if err := mgr2.Rebuild(m, files, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	mgr2.BackupAll()
+	if other.Fingerprint() != mgr2.Fingerprint() {
+		t.Fatal("deterministic rebuild fingerprints differ")
+	}
+}
+
+// TestRegroupRacesBackup drives Rebuild against Backup/BackupAll/readers
+// from many goroutines — the -race coverage for the replication path, where
+// a primary's periodic regroup can race a client-commanded group backup.
+// Every observation must be of a complete grouping: a Backup that wins a
+// group id mid-race still captures that group's full member set.
+func TestRegroupRacesBackup(t *testing.T) {
+	m, files := minedModel(t)
+	mgr := NewManager()
+	if err := mgr.BuildGroups(m, files, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		degrees := []float64{0.4, 0.45, 0.5, 0.55}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := mgr.Rebuild(m, files, degrees[i%len(degrees)]); err != nil {
+				t.Errorf("rebuild: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					mgr.BackupAll()
+				case 1:
+					if _, err := mgr.Backup(GroupID(i % 8)); err == nil {
+						if v := mgr.Version(GroupID(i % 8)); v == 0 {
+							t.Errorf("backup succeeded but version is 0")
+							return
+						}
+					}
+				case 2:
+					if g, ok := mgr.GroupOf(trace.FileID(i)); ok {
+						members := mgr.Members(g)
+						found := false
+						for _, f := range members {
+							if f == trace.FileID(i) {
+								found = true
+								break
+							}
+						}
+						// A Rebuild between GroupOf and Members may have
+						// reassigned the file; what must never happen is an
+						// empty group.
+						if len(members) == 0 {
+							t.Errorf("group %d empty", g)
+							return
+						}
+						_ = found
+					}
+				case 3:
+					mgr.Fingerprint()
+					mgr.VersionTotal()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond) // let rebuilds overlap the workers
+	close(stop)
+	wg.Wait()
 }

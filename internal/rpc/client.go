@@ -18,9 +18,22 @@ import (
 // it.
 var ErrClientClosed = errors.New("rpc: client closed")
 
+// ErrDisconnected reports that the client's connection failed underneath it:
+// the transport error is sticky, so every outstanding and later call returns
+// an error wrapping ErrDisconnected. A Client never reconnects itself — one
+// connection is one FIFO stream, and splicing a new socket under pipelined
+// requests would reorder them — so callers that can re-establish state
+// (farmer.Dial's failover, which redials and re-promotes) match this error
+// with errors.Is and swap in a fresh Client. Before it existed, the sticky
+// error was untyped and callers had no sanctioned way to tell "this
+// connection is dead, redial" from an application error — one transient
+// fault wedged the client forever.
+var ErrDisconnected = errors.New("rpc: disconnected")
+
 // pending is one in-flight request; the reader delivers the matching
 // response frame (or the client fails it with an error).
 type pending struct {
+	id uint64
 	ch chan Frame // buffered 1
 }
 
@@ -37,6 +50,7 @@ type Client struct {
 	waiting map[uint64]*pending
 	err     error // first transport error, sticky
 	closed  bool
+	failed  bool // fail ran (done is closed)
 
 	out      chan []byte
 	quit     chan struct{} // closed by Close: writer flushes and exits
@@ -94,9 +108,14 @@ func (c *Client) writeLoop() {
 				break batch
 			}
 		}
-		if bw.Flush() != nil {
-			// The reader will observe the broken connection and fail all
-			// pending calls; senders stop enqueueing once c.done closes.
+		if err := bw.Flush(); err != nil {
+			// Fail fast: the reader would eventually observe the broken
+			// connection too, but a peer that only broke our write half
+			// (or a long read timeout) would leave pending calls hanging
+			// meanwhile. fail is idempotent, so racing the reader is fine;
+			// closing the conn unparks the reader so it exits promptly.
+			c.fail(err)
+			c.conn.Close()
 			return
 		}
 	}
@@ -122,14 +141,20 @@ func (c *Client) readLoop() {
 	}
 }
 
-// fail marks the client broken and releases every waiter.
+// fail marks the client broken and releases every waiter. Idempotent: the
+// writer and the reader may both observe the same broken connection.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
+	if c.failed {
+		c.mu.Unlock()
+		return
+	}
+	c.failed = true
 	if c.err == nil {
 		if c.closed {
 			c.err = ErrClientClosed
 		} else {
-			c.err = fmt.Errorf("rpc: connection failed: %w", err)
+			c.err = fmt.Errorf("%w: %v", ErrDisconnected, err)
 		}
 	}
 	waiting := c.waiting
@@ -161,7 +186,7 @@ func (c *Client) start(typ MsgType, body []byte) (*pending, error) {
 	}
 	c.nextID++
 	id := c.nextID
-	p := &pending{ch: make(chan Frame, 1)}
+	p := &pending{id: id, ch: make(chan Frame, 1)}
 	c.waiting[id] = p
 	c.mu.Unlock()
 
@@ -176,8 +201,9 @@ func (c *Client) start(typ MsgType, body []byte) (*pending, error) {
 }
 
 // wait blocks for p's response, honoring ctx. A ctx expiry abandons the
-// response (the reader discards it on arrival); the connection stays
-// healthy.
+// response — the pending slot is forgotten immediately (the reader discards
+// the reply on arrival), so an abandoner's Close does not drain-wait for a
+// response nobody wants; the connection stays healthy.
 func (c *Client) wait(ctx context.Context, p *pending) ([]byte, error) {
 	select {
 	case f, ok := <-p.ch:
@@ -192,6 +218,7 @@ func (c *Client) wait(ctx context.Context, p *pending) ([]byte, error) {
 		}
 		return f.Body, nil
 	case <-ctx.Done():
+		c.forget(p.id)
 		return nil, ctx.Err()
 	}
 }
@@ -322,6 +349,36 @@ func (c *Client) Save(ctx context.Context) error {
 func (c *Client) Load(ctx context.Context) error {
 	_, err := c.call(ctx, MsgLoad, nil)
 	return err
+}
+
+// Promote asks the server to start accepting writes. A primary (or any
+// standalone server) answers OK as a no-op; an un-promoted follower accepts
+// only if its primary's replication link is down, and otherwise answers
+// CodeNotPrimary (match with errors.Is(err, ErrNotPrimary)) — the
+// split-brain guard a failing-over client relies on.
+func (c *Client) Promote(ctx context.Context) error {
+	_, err := c.call(ctx, MsgPromote, nil)
+	return err
+}
+
+// Catchup ships a checkpoint cut to a follower and waits for it to verify
+// and install it — the bootstrap half of the replication stream.
+func (c *Client) Catchup(ctx context.Context, cut *CatchupCut) error {
+	_, err := c.call(ctx, MsgCatchup, appendCatchup(nil, cut))
+	return err
+}
+
+// Groups runs a replica-group operation on the server: with req.Read it
+// reports the manager's current fingerprint; otherwise the server rebuilds
+// groups from its mined state and cuts a group-atomic backup of every group
+// (on a replicating primary, the cut is forwarded to followers at the same
+// stream position).
+func (c *Client) Groups(ctx context.Context, req GroupsReq) (GroupsInfo, error) {
+	body, err := c.call(ctx, MsgGroups, appendGroupsReq(nil, &req))
+	if err != nil {
+		return GroupsInfo{}, err
+	}
+	return decodeGroupsInfo(body)
 }
 
 // Close drains gracefully: no new calls are accepted, outstanding responses

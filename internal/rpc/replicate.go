@@ -1,0 +1,278 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"farmer/internal/trace"
+)
+
+// Replicator is the primary half of farmerd replication: it owns the
+// outbound replication stream to every attached follower and the single
+// stream-position counter both ends agree on.
+//
+// The contract with the serving layer is that EVERY mutation of the mined
+// stream goes through Ingest (records) or Groups (group-backup cuts): the
+// mutation runs under the replicator's lock, so the local mine, the position
+// assignment and the enqueue onto each follower connection are one atomic
+// step, and each follower connection — a FIFO channel, like every rpc
+// connection — carries the exact stream the primary mined, in order.
+// Acks are awaited OUTSIDE the lock, so followers add latency but the
+// pipeline stays full.
+//
+// Ingest returns only after every live follower acked, which is what makes
+// the serving layer's client ack mean "this record survives the primary":
+// zero acked-record loss on primary failure, the §4.3 recoverability claim
+// replication exists for.
+//
+// A follower whose connection fails is detached and reported through the
+// lost callback; the primary keeps serving (availability wins over replica
+// count — the operator restarts the follower, which bootstraps again via
+// catch-up).
+type Replicator struct {
+	mu         sync.Mutex
+	pos        uint64
+	followers  []*replFollower
+	ackTimeout time.Duration
+	lost       func(addr string, err error)
+}
+
+type replFollower struct {
+	addr string
+	c    *Client
+}
+
+// NewReplicator creates a replicator whose stream starts at pos (the
+// primary miner's current record count). ackTimeout bounds the wait for one
+// follower's ack (<= 0 means unbounded): a follower that is connected but
+// wedged — its process stopped, its disk stuck — never produces a transport
+// error, and without the bound it would block every Ingest (and therefore
+// every client write on the primary) forever; when the bound expires the
+// follower is detached like a dead one. lost, if non-nil, is called once
+// for each follower dropped after a replication failure.
+func NewReplicator(pos uint64, ackTimeout time.Duration, lost func(addr string, err error)) *Replicator {
+	return &Replicator{pos: pos, ackTimeout: ackTimeout, lost: lost}
+}
+
+// Pos reports the current stream position (records ingested through the
+// replicator plus the starting position).
+func (r *Replicator) Pos() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pos
+}
+
+// Followers reports the attached follower addresses.
+func (r *Replicator) Followers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	addrs := make([]string, len(r.followers))
+	for i, f := range r.followers {
+		addrs[i] = f.addr
+	}
+	return addrs
+}
+
+// Attach dials a follower, cuts a checkpoint of the primary's state and
+// ships it as a MsgCatchup frame, then adds the follower to the live
+// stream. cut runs under the replicator's lock — the stream is quiescent
+// while the checkpoint is taken, so the cut and the attach are atomic: no
+// record can slip between the snapshot and the first replicated frame. The
+// returned error covers dialing, cutting and the follower's verification of
+// the cut.
+func (r *Replicator) Attach(ctx context.Context, addr string, cut func() (CatchupCut, error)) error {
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		return fmt.Errorf("rpc: attaching follower %s: %w", addr, err)
+	}
+	r.mu.Lock()
+	cc, err := cut()
+	if err != nil {
+		r.mu.Unlock()
+		c.Close()
+		return fmt.Errorf("rpc: attaching follower %s: cutting checkpoint: %w", addr, err)
+	}
+	if cc.Pos != r.pos {
+		// The miner was fed behind the replicator's back; refusing beats
+		// shipping a stream the follower will refuse at the first frame.
+		r.mu.Unlock()
+		c.Close()
+		return fmt.Errorf("rpc: attaching follower %s: checkpoint at position %d, stream at %d (miner fed outside the replicator?)",
+			addr, cc.Pos, r.pos)
+	}
+	// A snapshot bigger than one frame ships as MsgCatchupChunk frames plus
+	// a final MsgCatchup carrying the tail — the same FIFO connection
+	// reassembles them in order, so a model of any size can bootstrap a
+	// follower (MaxFrame bounds one frame, not the transfer).
+	var pendings []*pending
+	startErr := func() error {
+		snap := cc.Snapshot
+		for len(snap) > maxCatchupChunk {
+			p, err := c.start(MsgCatchupChunk, snap[:maxCatchupChunk])
+			if err != nil {
+				return err
+			}
+			pendings = append(pendings, p)
+			snap = snap[maxCatchupChunk:]
+		}
+		tail := cc
+		tail.Snapshot = snap
+		p, err := c.start(MsgCatchup, appendCatchup(nil, &tail))
+		if err != nil {
+			return err
+		}
+		pendings = append(pendings, p)
+		return nil
+	}()
+	if startErr != nil {
+		r.mu.Unlock()
+		c.Close()
+		return fmt.Errorf("rpc: attaching follower %s: %w", addr, startErr)
+	}
+	f := &replFollower{addr: addr, c: c}
+	r.followers = append(r.followers, f)
+	r.mu.Unlock()
+
+	// Wait for the follower's verdicts outside the lock: later frames are
+	// already FIFO-ordered behind the catch-up, so the stream stays correct
+	// whether the acks arrive before or after them — but a refusal must
+	// detach the follower and surface to the caller.
+	for _, p := range pendings {
+		if _, err := c.wait(ctx, p); err != nil {
+			r.detach(f, err)
+			return fmt.Errorf("rpc: follower %s refused catch-up: %w", addr, err)
+		}
+	}
+	return nil
+}
+
+// maxCatchupChunk caps one catch-up frame's snapshot bytes, comfortably
+// under MaxFrame (mirroring the feed path's maxBatchBody). Variable only so
+// tests can force the chunked path on small snapshots.
+var maxCatchupChunk = 8 << 20
+
+// Ingest replicates one record batch: mine runs the local ingestion under
+// the stream lock, then the batch is enqueued to every follower at the
+// claimed position. It returns after every live follower acked (followers
+// that fail are detached and reported, not waited for). mine's error aborts
+// the step before anything is shipped.
+func (r *Replicator) Ingest(ctx context.Context, recs []trace.Record, mine func() error) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	if err := mine(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	var body []byte
+	waits := r.enqueueLocked(func() []byte {
+		if body == nil {
+			body = appendReplicateRecords(nil, r.pos, recs)
+		}
+		return body
+	})
+	r.pos += uint64(len(recs))
+	r.mu.Unlock()
+	r.await(ctx, waits)
+	return nil
+}
+
+// Groups replicates a group-backup command: run executes the cut locally
+// under the stream lock (at a definite position), and every follower
+// receives the same command at the same position. run's error aborts the
+// step before anything is shipped.
+func (r *Replicator) Groups(ctx context.Context, req GroupsReq, run func() error) error {
+	r.mu.Lock()
+	if err := run(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	var body []byte
+	waits := r.enqueueLocked(func() []byte {
+		if body == nil {
+			body = appendReplicateGroups(nil, r.pos, &req)
+		}
+		return body
+	})
+	r.mu.Unlock()
+	r.await(ctx, waits)
+	return nil
+}
+
+type replWait struct {
+	f *replFollower
+	p *pending
+}
+
+// enqueueLocked starts one frame toward every follower, holding r.mu.
+// Followers whose connection refuses the enqueue are detached immediately.
+func (r *Replicator) enqueueLocked(body func() []byte) []replWait {
+	waits := make([]replWait, 0, len(r.followers))
+	for i := 0; i < len(r.followers); i++ {
+		f := r.followers[i]
+		p, err := f.c.start(MsgReplicate, body())
+		if err != nil {
+			r.followers = append(r.followers[:i], r.followers[i+1:]...)
+			i--
+			go r.report(f, err)
+			continue
+		}
+		waits = append(waits, replWait{f, p})
+	}
+	return waits
+}
+
+// await collects acks; a failed — or ackTimeout-stuck — follower is
+// detached.
+func (r *Replicator) await(ctx context.Context, waits []replWait) {
+	for _, w := range waits {
+		wctx, cancel := ctx, context.CancelFunc(func() {})
+		if r.ackTimeout > 0 {
+			wctx, cancel = context.WithTimeout(ctx, r.ackTimeout)
+		}
+		_, err := w.f.c.wait(wctx, w.p)
+		cancel()
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("no ack within %v (follower wedged?): %w", r.ackTimeout, err)
+			}
+			r.detach(w.f, err)
+		}
+	}
+}
+
+func (r *Replicator) detach(f *replFollower, err error) {
+	r.mu.Lock()
+	for i, g := range r.followers {
+		if g == f {
+			r.followers = append(r.followers[:i], r.followers[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+	r.report(f, err)
+}
+
+func (r *Replicator) report(f *replFollower, err error) {
+	f.c.Close()
+	if r.lost != nil && !errors.Is(err, ErrClientClosed) {
+		r.lost(f.addr, err)
+	}
+}
+
+// Close detaches every follower, draining their connections gracefully (a
+// clean primary shutdown leaves followers fully caught up, ready for
+// promotion).
+func (r *Replicator) Close() {
+	r.mu.Lock()
+	followers := r.followers
+	r.followers = nil
+	r.mu.Unlock()
+	for _, f := range followers {
+		f.c.Close()
+	}
+}

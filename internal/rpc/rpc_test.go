@@ -48,10 +48,10 @@ func (b *minerBackend) Predict(f trace.FileID, k int) []trace.FileID { return b.
 func (b *minerBackend) CorrelatorList(f trace.FileID) []core.Correlator {
 	return b.sm.CorrelatorList(f)
 }
-func (b *minerBackend) Stats() core.Stats                 { return b.sm.Stats() }
-func (b *minerBackend) ApplyEvents(evs []partition.Event) { b.sm.ApplyExternal(evs) }
-func (b *minerBackend) Save() error                       { b.saves++; return b.saveErr }
-func (b *minerBackend) Load() error                       { return nil }
+func (b *minerBackend) Stats() core.Stats                       { return b.sm.Stats() }
+func (b *minerBackend) ApplyEvents(evs []partition.Event) error { b.sm.ApplyExternal(evs); return nil }
+func (b *minerBackend) Save() error                             { b.saves++; return b.saveErr }
+func (b *minerBackend) Load() error                             { return nil }
 
 // startServer runs a server on a loopback listener and returns its address
 // plus a stop function that asserts a clean drain.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"farmer/internal/core"
@@ -18,16 +19,35 @@ import (
 // the farmer package's local miner, and by anything else that wants to
 // speak the protocol. Requests on one connection are handled sequentially
 // in arrival order; the backend only needs the same concurrency safety as
-// core.ShardedModel (many connections may call it at once).
+// core.ShardedModel (many connections may call it at once). Errors wrapping
+// ErrNotPrimary travel as CodeNotPrimary (an un-promoted follower refusing
+// a write); every other backend error travels as CodeInternal.
 type Backend interface {
 	Feed(r *trace.Record) error
 	FeedBatch(recs []trace.Record) error
 	Predict(f trace.FileID, k int) []trace.FileID
 	CorrelatorList(f trace.FileID) []core.Correlator
 	Stats() core.Stats
-	ApplyEvents(evs []partition.Event)
+	ApplyEvents(evs []partition.Event) error
 	Save() error
 	Load() error
+}
+
+// ReplicaBackend is the optional replication surface: a backend that also
+// implements it accepts MsgPromote/MsgCatchup/MsgReplicate/MsgGroups frames
+// (a server whose backend does not answers CodeUnsupported). The conn
+// argument identifies the connection a frame arrived on — the follower
+// pins its replication source to the first connection that catches it up,
+// and ConnClosed tells it that source is gone (which is what makes the
+// follower promotable).
+type ReplicaBackend interface {
+	Backend
+	Promote() error
+	Catchup(conn uint64, cut CatchupCut) error
+	Replicate(conn uint64, pos uint64, recs []trace.Record) error
+	ReplicateGroups(conn uint64, pos uint64, req GroupsReq) error
+	Groups(req GroupsReq) (GroupsInfo, error)
+	ConnClosed(conn uint64)
 }
 
 // Server serves the FARMER wire protocol over a listener. One goroutine per
@@ -36,6 +56,9 @@ type Backend interface {
 // per burst rather than one per reply.
 type Server struct {
 	backend Backend
+	replica ReplicaBackend // backend's replication surface, nil if absent
+
+	connSeq atomic.Uint64
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -48,7 +71,8 @@ type Server struct {
 
 // NewServer creates a server for backend.
 func NewServer(b Backend) *Server {
-	return &Server{backend: b, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	rb, _ := b.(ReplicaBackend)
+	return &Server{backend: b, replica: rb, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
 }
 
 // Serve accepts connections on lis until Shutdown (or a listener error) and
@@ -139,9 +163,30 @@ func (s *Server) removeConn(conn net.Conn) {
 
 // serveConn is one connection's request loop: decode, handle, respond.
 // Handling is strictly in read order, which makes the connection a FIFO
-// event channel (the NetOwner invariant) and responses naturally ordered.
+// event channel (the NetOwner invariant and the replication stream's
+// ordering guarantee) and responses naturally ordered.
+// MaxCatchupSnapshot bounds the per-connection accumulation of
+// MsgCatchupChunk bytes, so a hostile peer cannot demand unbounded memory.
+// A real snapshot of this size would not fit a follower's memory anyway
+// (the decoded store roughly doubles it).
+const MaxCatchupSnapshot = 2 << 30
+
+// connState is one connection's server-side state: its identity (the
+// replication source pin) and the partially accumulated catch-up snapshot.
+type connState struct {
+	id      uint64
+	catchup []byte
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.removeConn(conn)
+	cs := &connState{id: s.connSeq.Add(1)}
+	if s.replica != nil {
+		// The backend learns the source link died even on an abrupt drop —
+		// that notification is what clears a follower's primary link and
+		// makes it promotable.
+		defer s.replica.ConnClosed(cs.id)
+	}
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	var out []byte
@@ -155,7 +200,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			bw.Flush()
 			return
 		}
-		out = s.handle(out[:0], &f)
+		out = s.handle(out[:0], cs, &f)
 		if _, err := bw.Write(out); err != nil {
 			return
 		}
@@ -170,10 +215,20 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // handle executes one request and appends the response frame to dst.
-func (s *Server) handle(dst []byte, f *Frame) []byte {
+func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
+	conn := cs.id
 	ok := func(body []byte) []byte { return AppendFrame(dst, MsgOK, f.ID, body) }
 	fail := func(code Code, err error) []byte {
 		return AppendFrame(dst, MsgErr, f.ID, appendWireError(nil, code, err.Error()))
+	}
+	// backendErr maps a backend refusal to its wire code: a follower's
+	// not-primary refusal keeps its type across the wire so a failing-over
+	// client can match it.
+	backendErr := func(err error) []byte {
+		if errors.Is(err, ErrNotPrimary) {
+			return fail(CodeNotPrimary, err)
+		}
+		return fail(CodeInternal, err)
 	}
 	switch f.Type {
 	case MsgPing:
@@ -187,7 +242,7 @@ func (s *Server) handle(dst []byte, f *Frame) []byte {
 			return fail(CodeBadRequest, err)
 		}
 		if err := s.backend.Feed(&r); err != nil {
-			return fail(CodeInternal, err)
+			return backendErr(err)
 		}
 		return ok(nil)
 	case MsgFeedBatch:
@@ -196,7 +251,7 @@ func (s *Server) handle(dst []byte, f *Frame) []byte {
 			return fail(CodeBadRequest, err)
 		}
 		if err := s.backend.FeedBatch(recs); err != nil {
-			return fail(CodeInternal, err)
+			return backendErr(err)
 		}
 		return ok(nil)
 	case MsgPredict:
@@ -218,12 +273,12 @@ func (s *Server) handle(dst []byte, f *Frame) []byte {
 		return ok(appendStats(nil, s.backend.Stats()))
 	case MsgSave:
 		if err := s.backend.Save(); err != nil {
-			return fail(CodeInternal, err)
+			return backendErr(err)
 		}
 		return ok(nil)
 	case MsgLoad:
 		if err := s.backend.Load(); err != nil {
-			return fail(CodeInternal, err)
+			return backendErr(err)
 		}
 		return ok(nil)
 	case MsgApplyEvents:
@@ -231,12 +286,96 @@ func (s *Server) handle(dst []byte, f *Frame) []byte {
 		if err != nil {
 			return fail(CodeBadRequest, err)
 		}
-		s.backend.ApplyEvents(evs)
+		if err := s.backend.ApplyEvents(evs); err != nil {
+			return backendErr(err)
+		}
 		return ok(nil)
+	case MsgPromote:
+		if s.replica == nil {
+			return fail(CodeUnsupported, errReplicaUnsupported)
+		}
+		if err := s.replica.Promote(); err != nil {
+			return backendErr(err)
+		}
+		return ok(nil)
+	case MsgCatchupChunk:
+		if s.replica == nil {
+			return fail(CodeUnsupported, errReplicaUnsupported)
+		}
+		if len(cs.catchup)+len(f.Body) > MaxCatchupSnapshot {
+			cs.catchup = nil
+			return fail(CodeBadRequest, fmt.Errorf("rpc: catch-up snapshot exceeds %d bytes", MaxCatchupSnapshot))
+		}
+		cs.catchup = append(cs.catchup, f.Body...)
+		return ok(nil)
+	case MsgCatchup:
+		if s.replica == nil {
+			return fail(CodeUnsupported, errReplicaUnsupported)
+		}
+		cut, err := decodeCatchup(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		if len(cs.catchup) > 0 {
+			// Chunked transfer: this frame carries the final piece; the
+			// rest arrived as MsgCatchupChunk frames on this connection.
+			cut.Snapshot = append(cs.catchup, cut.Snapshot...)
+			cs.catchup = nil
+		}
+		if err := s.replica.Catchup(conn, cut); err != nil {
+			return backendErr(err)
+		}
+		return ok(nil)
+	case MsgReplicate:
+		if s.replica == nil {
+			return fail(CodeUnsupported, errReplicaUnsupported)
+		}
+		pos, kind, payload, err := decodeReplicate(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		switch kind {
+		case replKindRecords:
+			recs, err := consumeRecords(payload)
+			if err != nil {
+				return fail(CodeBadRequest, err)
+			}
+			if err := s.replica.Replicate(conn, pos, recs); err != nil {
+				return backendErr(err)
+			}
+		case replKindGroups:
+			req, err := decodeGroupsReq(payload)
+			if err != nil {
+				return fail(CodeBadRequest, err)
+			}
+			if err := s.replica.ReplicateGroups(conn, pos, req); err != nil {
+				return backendErr(err)
+			}
+		default:
+			return fail(CodeBadRequest, fmt.Errorf("rpc: unknown replicate kind %d", kind))
+		}
+		return ok(nil)
+	case MsgGroups:
+		if s.replica == nil {
+			return fail(CodeUnsupported, errReplicaUnsupported)
+		}
+		req, err := decodeGroupsReq(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		info, err := s.replica.Groups(req)
+		if err != nil {
+			return backendErr(err)
+		}
+		return ok(appendGroupsInfo(nil, info))
 	default:
 		return fail(CodeUnsupported, fmt.Errorf("rpc: unknown request type %d", f.Type))
 	}
 }
+
+// errReplicaUnsupported answers replication frames sent to a server whose
+// backend has no replication surface.
+var errReplicaUnsupported = errors.New("rpc: backend does not support replication")
 
 // ListenAndServe listens on addr (TCP) and serves until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {

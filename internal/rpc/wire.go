@@ -55,6 +55,10 @@ type MsgType uint8
 //	MsgSave        (empty)                      → MsgOK (empty)
 //	MsgLoad        (empty)                      → MsgOK (empty)
 //	MsgApplyEvents u32 count, events            → MsgOK (empty)
+//	MsgPromote     (empty)                      → MsgOK (empty)
+//	MsgCatchup     catch-up cut                 → MsgOK (empty)
+//	MsgReplicate   u64 pos, u8 kind, payload    → MsgOK (empty)
+//	MsgGroups      groups request               → MsgOK groups info
 const (
 	MsgPing MsgType = iota + 1
 	MsgFeed
@@ -65,6 +69,21 @@ const (
 	MsgSave
 	MsgLoad
 	MsgApplyEvents
+
+	// Replication frames (see replicate.go and DESIGN.md "Replication &
+	// failover"). MsgCatchup bootstraps a follower from the primary's
+	// checkpoint cut; snapshots larger than one frame arrive as 0+
+	// MsgCatchupChunk frames (raw snapshot bytes, accumulated per
+	// connection) followed by the MsgCatchup carrying the final piece.
+	// MsgReplicate streams the acked record feed (kind 0, the
+	// trace.AppendRecord codec) and group-backup commands (kind 1);
+	// MsgPromote asks a follower to start accepting writes — refused while
+	// its primary's replication link is live (the split-brain guard).
+	MsgPromote
+	MsgCatchup
+	MsgReplicate
+	MsgGroups
+	MsgCatchupChunk
 
 	// Response frames.
 	MsgOK  MsgType = 0x40
@@ -140,7 +159,18 @@ const (
 
 	// CodeUnsupported: the request type is unknown to this server.
 	CodeUnsupported Code = 4
+
+	// CodeNotPrimary: the server is an un-promoted replication follower and
+	// the request mutates mined state; the caller should fail over to (or
+	// promote) a writable server. Matched client-side by ErrNotPrimary.
+	CodeNotPrimary Code = 5
 )
+
+// ErrNotPrimary marks a write refused by an un-promoted replication
+// follower. Server backends return errors wrapping it (the server answers
+// CodeNotPrimary); client callers match it with errors.Is against the
+// decoded *WireError — farmer.Dial's failover consumes exactly that.
+var ErrNotPrimary = errors.New("rpc: not primary")
 
 // WireError is a MsgErr response surfaced to the caller.
 type WireError struct {
@@ -149,6 +179,12 @@ type WireError struct {
 }
 
 func (e *WireError) Error() string { return fmt.Sprintf("rpc: remote error %d: %s", e.Code, e.Msg) }
+
+// Is lets errors.Is(err, ErrNotPrimary) match the decoded wire form of a
+// follower's write refusal.
+func (e *WireError) Is(target error) bool {
+	return target == ErrNotPrimary && e.Code == CodeNotPrimary
+}
 
 func appendWireError(dst []byte, code Code, msg string) []byte {
 	le := binary.LittleEndian
@@ -443,6 +479,138 @@ func consumeVector(b []byte) (vsm.Vector, []byte, error) {
 	}
 	v.Path = path
 	return v, b, nil
+}
+
+// ------------------------------------------------------- replication bodies
+
+// CatchupCut is one checkpoint cut of a primary's complete mined state: the
+// stream position (records ingested — the cut's WAL position), the state
+// fingerprint the follower verifies BEFORE installing, the dense FileID
+// bound the fingerprint hashes over, and the kvstore snapshot bytes
+// (Store.Snapshot framing) holding lists, vectors, graph and lookahead
+// window.
+type CatchupCut struct {
+	Pos         uint64
+	Fingerprint uint64
+	FileCount   int
+	Snapshot    []byte
+}
+
+// MsgCatchup body: u64 pos, u64 fingerprint, u32 fileCount, snapshot bytes.
+func appendCatchup(dst []byte, cut *CatchupCut) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, cut.Pos)
+	dst = le.AppendUint64(dst, cut.Fingerprint)
+	dst = le.AppendUint32(dst, uint32(cut.FileCount))
+	return append(dst, cut.Snapshot...)
+}
+
+func decodeCatchup(b []byte) (CatchupCut, error) {
+	if len(b) < 20 {
+		return CatchupCut{}, fmt.Errorf("rpc: catchup body is %d bytes, want >= 20", len(b))
+	}
+	le := binary.LittleEndian
+	return CatchupCut{
+		Pos:         le.Uint64(b[:8]),
+		Fingerprint: le.Uint64(b[8:16]),
+		FileCount:   int(le.Uint32(b[16:20])),
+		Snapshot:    b[20:],
+	}, nil
+}
+
+// Replicate frame kinds.
+const (
+	replKindRecords byte = 0 // payload: u32 count + trace.AppendRecord records
+	replKindGroups  byte = 1 // payload: GroupsReq (a group-backup command)
+)
+
+// MsgReplicate body: u64 pos, u8 kind, payload. pos is the stream position
+// BEFORE the payload applies; a follower refuses a position that does not
+// equal its own record count, so a gap or reorder can never silently
+// corrupt the replica.
+func appendReplicateRecords(dst []byte, pos uint64, recs []trace.Record) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, pos)
+	dst = append(dst, replKindRecords)
+	return appendRecords(dst, recs)
+}
+
+func appendReplicateGroups(dst []byte, pos uint64, req *GroupsReq) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, pos)
+	dst = append(dst, replKindGroups)
+	return appendGroupsReq(dst, req)
+}
+
+func decodeReplicate(b []byte) (pos uint64, kind byte, payload []byte, err error) {
+	if len(b) < 9 {
+		return 0, 0, nil, fmt.Errorf("rpc: replicate body is %d bytes, want >= 9", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[:8]), b[8], b[9:], nil
+}
+
+// GroupsReq parameterises a replica-group operation (paper §4.3): build
+// groups over [0, FileCount) with mutual-correlation threshold MinDegree.
+// Read reports the manager's current state without rebuilding or cutting —
+// the verification read a follower always answers.
+type GroupsReq struct {
+	FileCount int
+	MinDegree float64
+	Read      bool
+}
+
+// MsgGroups body: u32 fileCount, u64 minDegree bits, u8 flags (bit 0 =
+// read-only).
+func appendGroupsReq(dst []byte, req *GroupsReq) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(req.FileCount))
+	dst = le.AppendUint64(dst, f64bits(req.MinDegree))
+	var flags byte
+	if req.Read {
+		flags |= 1
+	}
+	return append(dst, flags)
+}
+
+func decodeGroupsReq(b []byte) (GroupsReq, error) {
+	if len(b) != 13 {
+		return GroupsReq{}, fmt.Errorf("rpc: groups body is %d bytes, want 13", len(b))
+	}
+	le := binary.LittleEndian
+	if b[12]&^1 != 0 {
+		return GroupsReq{}, fmt.Errorf("rpc: groups request: unknown flag bits %#x", b[12])
+	}
+	return GroupsReq{
+		FileCount: int(le.Uint32(b[:4])),
+		MinDegree: f64from(le.Uint64(b[4:12])),
+		Read:      b[12]&1 != 0,
+	}, nil
+}
+
+// GroupsInfo summarises a replica-group manager: the fingerprint covers
+// every group's membership and backup version, so a primary and a follower
+// agree on it iff their group-atomic backups are identical.
+type GroupsInfo struct {
+	Fingerprint uint64
+	Groups      int
+	Versions    uint64 // sum of per-group backup versions (cut count)
+}
+
+func appendGroupsInfo(dst []byte, info GroupsInfo) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, info.Fingerprint)
+	dst = le.AppendUint32(dst, uint32(info.Groups))
+	return le.AppendUint64(dst, info.Versions)
+}
+
+func decodeGroupsInfo(b []byte) (GroupsInfo, error) {
+	if len(b) != 20 {
+		return GroupsInfo{}, fmt.Errorf("rpc: groups info is %d bytes, want 20", len(b))
+	}
+	le := binary.LittleEndian
+	return GroupsInfo{
+		Fingerprint: le.Uint64(b[:8]),
+		Groups:      int(le.Uint32(b[8:12])),
+		Versions:    le.Uint64(b[12:20]),
+	}, nil
 }
 
 // Predict request body.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"farmer/internal/core"
+	"farmer/internal/replica"
 )
 
 // Miner is the public mining surface this package's deployments share: the
@@ -126,6 +127,9 @@ type LocalMiner struct {
 	store *Store
 	pf    *Prefetcher
 
+	gmu    sync.Mutex       // guards groups creation
+	groups *replica.Manager // lazily created replica-group manager (§4.3)
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -210,10 +214,28 @@ func (m *LocalMiner) Stats(ctx context.Context) (ModelStats, error) {
 	return m.sm.Stats(), nil
 }
 
+// saveToStore is the checkpoint body — a seam so tests can stand in a
+// blocking store write and prove Save honors its context.
+var saveToStore = func(sm *ShardedModel, st *Store) error {
+	if err := sm.SaveMerged(st); err != nil {
+		return err
+	}
+	return st.Compact()
+}
+
 // Save implements Miner: SaveMerged into the WithStore store, then compact
 // the write-ahead log — repeated checkpoints (farmerd -checkpoint) keep the
 // store at roughly one copy of the live state instead of growing by one
 // copy per save.
+//
+// ctx bounds the WHOLE checkpoint, not just its start: a store write that
+// hangs (a wedged disk, an NFS stall) returns ctx's error when the deadline
+// passes instead of wedging the caller — in particular the serve drain,
+// whose DrainTimeout used to be ignored by exactly this path. The abandoned
+// write keeps holding the miner's dispatch and store locks until it
+// unwedges, so an expired Save leaves later checkpoints blocked too — the
+// right state for a daemon about to exit, which is the only caller that
+// abandons.
 func (m *LocalMiner) Save(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -221,10 +243,15 @@ func (m *LocalMiner) Save(ctx context.Context) error {
 	if m.store == nil {
 		return ErrNoStore
 	}
-	if err := m.sm.SaveMerged(m.store); err != nil {
+	done := make(chan error, 1)
+	save := saveToStore // capture: the goroutine may outlive a test's seam swap
+	go func() { done <- save(m.sm, m.store) }()
+	select {
+	case err := <-done:
 		return err
+	case <-ctx.Done():
+		return fmt.Errorf("farmer: checkpoint abandoned: %w", ctx.Err())
 	}
-	return m.store.Compact()
 }
 
 // Load implements Miner: LoadMerged from the WithStore store, rebalancing

@@ -1,0 +1,118 @@
+package farmer
+
+import (
+	"bytes"
+	"fmt"
+
+	"farmer/internal/core"
+	"farmer/internal/kvstore"
+	"farmer/internal/replica"
+	"farmer/internal/rpc"
+)
+
+// This file is the miner half of farmerd replication (the serving half
+// lives in serve.go, the stream itself in internal/rpc): cutting the
+// catch-up checkpoint a follower bootstraps from, installing one on the
+// follower side, and the replica-group manager whose group-atomic backup
+// cuts (paper §4.3) ride the replication stream.
+
+// ReplicaGroupsInfo summarises a miner's replica-group state. Fingerprint
+// covers every group's membership and backup version; a replication primary
+// and its follower agree on it iff their group backups are identical.
+type ReplicaGroupsInfo struct {
+	Fingerprint uint64
+	Groups      int
+	Versions    uint64 // total backup cuts across all groups
+}
+
+// BackupGroups rebuilds the miner's replica groups from its current mined
+// state — files whose mutual correlation degree clears minDegree share a
+// group over [0, fileCount) — and atomically cuts a backup version of every
+// group (paper §4.3: strongly-correlated files are backed up together or
+// not at all). On a miner served with followers, the cut is replicated so
+// every follower executes the identical operation at the identical stream
+// position; see ServeConfig.ReplicateTo.
+func (m *LocalMiner) BackupGroups(fileCount int, minDegree float64) (ReplicaGroupsInfo, error) {
+	mgr := m.replicaManager()
+	if err := mgr.Rebuild(m.sm, fileCount, minDegree); err != nil {
+		return ReplicaGroupsInfo{}, err
+	}
+	mgr.BackupAll()
+	return m.ReplicaGroups(), nil
+}
+
+// ReplicaGroups reports the current replica-group state without rebuilding
+// or cutting — the verification read both ends of a replicated pair answer.
+func (m *LocalMiner) ReplicaGroups() ReplicaGroupsInfo {
+	mgr := m.replicaManager()
+	return ReplicaGroupsInfo{
+		Fingerprint: mgr.Fingerprint(),
+		Groups:      mgr.Groups(),
+		Versions:    mgr.VersionTotal(),
+	}
+}
+
+func (m *LocalMiner) replicaManager() *replica.Manager {
+	m.gmu.Lock()
+	defer m.gmu.Unlock()
+	if m.groups == nil {
+		m.groups = replica.NewManager()
+	}
+	return m.groups
+}
+
+// catchupCut snapshots the miner's complete mined state — lists, vectors,
+// correlation graph, lookahead window and ingest position — into one
+// rpc.CatchupCut. The caller (rpc.Replicator.Attach) serializes the cut
+// against ingestion, so position, snapshot and fingerprint describe the
+// same record boundary.
+func (m *LocalMiner) catchupCut() (rpc.CatchupCut, error) {
+	mem, err := kvstore.Open("")
+	if err != nil {
+		return rpc.CatchupCut{}, err
+	}
+	if err := m.sm.SaveMerged(mem); err != nil {
+		return rpc.CatchupCut{}, fmt.Errorf("farmer: cutting catch-up checkpoint: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := mem.Snapshot(&buf); err != nil {
+		return rpc.CatchupCut{}, fmt.Errorf("farmer: encoding catch-up snapshot: %w", err)
+	}
+	fc := m.sm.TrackedFileCount()
+	return rpc.CatchupCut{
+		Pos:         m.sm.Fed(),
+		Fingerprint: core.StateFingerprint(m.sm, fc),
+		FileCount:   fc,
+		Snapshot:    buf.Bytes(),
+	}, nil
+}
+
+// applyCatchup verifies and installs a primary's checkpoint cut. The
+// snapshot's fingerprint is computed from the decoded store BEFORE anything
+// touches the miner, so a corrupt or mismatched transfer is refused with
+// the follower's state untouched; LoadMerged then enforces that the
+// follower is fresh and that the mining parameters match the primary's.
+func (m *LocalMiner) applyCatchup(cut rpc.CatchupCut) error {
+	mem, err := kvstore.Open("")
+	if err != nil {
+		return err
+	}
+	if err := mem.LoadSnapshot(bytes.NewReader(cut.Snapshot)); err != nil {
+		return fmt.Errorf("farmer: decoding catch-up snapshot: %w", err)
+	}
+	fp, err := core.StoreFingerprint(mem, cut.FileCount)
+	if err != nil {
+		return fmt.Errorf("farmer: fingerprinting catch-up snapshot: %w", err)
+	}
+	if fp != cut.Fingerprint {
+		return fmt.Errorf("farmer: catch-up checkpoint fingerprint mismatch: snapshot %#x, primary claims %#x (corrupt transfer or diverged state)",
+			fp, cut.Fingerprint)
+	}
+	if err := m.sm.LoadMerged(mem); err != nil {
+		return fmt.Errorf("farmer: installing catch-up checkpoint: %w", err)
+	}
+	if fed := m.sm.Fed(); fed != cut.Pos {
+		return fmt.Errorf("farmer: catch-up checkpoint at position %d but installed %d records", cut.Pos, fed)
+	}
+	return nil
+}

@@ -2,7 +2,10 @@ package farmer
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"farmer/internal/core"
@@ -11,21 +14,6 @@ import (
 	"farmer/internal/trace"
 )
 
-// localBackend adapts a LocalMiner to the wire protocol's backend surface.
-// ApplyEvents hands a remote dispatcher's event batches to the ensemble,
-// which routes them onto the owning shards — the server side of a
-// multi-process partitioned deployment (rpc.NetOwner is the client side).
-type localBackend struct{ m *LocalMiner }
-
-func (b localBackend) Feed(r *trace.Record) error           { b.m.sm.Feed(r); return nil }
-func (b localBackend) FeedBatch(recs []trace.Record) error  { b.m.sm.FeedBatch(recs); return nil }
-func (b localBackend) Predict(f FileID, k int) []FileID     { return b.m.sm.Predict(f, k) }
-func (b localBackend) CorrelatorList(f FileID) []Correlator { return b.m.sm.CorrelatorList(f) }
-func (b localBackend) Stats() core.Stats                    { return b.m.sm.Stats() }
-func (b localBackend) ApplyEvents(evs []partition.Event)    { b.m.sm.ApplyExternal(evs) }
-func (b localBackend) Save() error                          { return b.m.Save(context.Background()) }
-func (b localBackend) Load() error                          { return b.m.Load(context.Background()) }
-
 // ServeConfig tunes Serve.
 type ServeConfig struct {
 	// Checkpoint saves the miner into its store every interval (0 = never).
@@ -33,21 +21,303 @@ type ServeConfig struct {
 	// configured.
 	Checkpoint time.Duration
 	// DrainTimeout bounds the graceful shutdown (default 10s): connections
-	// get that long to finish in-flight requests before being cut.
+	// get that long to finish in-flight requests before being cut, and the
+	// final checkpoint gets the same bound (a hung store write cannot wedge
+	// the drain).
 	DrainTimeout time.Duration
+	// CheckpointTimeout bounds routine checkpoints (ticker and
+	// client-requested saves). They must be bounded — they run on the
+	// serve loop, so an unbounded hang there would also make the eventual
+	// drain unreachable — but the default is deliberately generous,
+	// max(DrainTimeout, Checkpoint, 1m): a save that is merely slow keeps
+	// succeeding; only a genuinely wedged write is abandoned.
+	CheckpointTimeout time.Duration
+
+	// ReplicateTo makes the served miner a replication PRIMARY: at startup
+	// it dials each address (a farmerd started with Follower/-follow),
+	// bootstraps it with a catch-up checkpoint, and thereafter streams every
+	// acked record batch — and every group-backup cut — to it before acking
+	// the client. Followers must be reachable at startup; one that fails
+	// mid-serve is dropped (logged via Logf) and the primary keeps serving.
+	ReplicateTo []string
+	// ReplicaAckTimeout bounds how long the primary waits for one
+	// follower's ack (default 30s). A follower that is connected but
+	// wedged — stopped process, stuck disk — would otherwise block every
+	// client write forever, since only a transport error detaches it;
+	// when the bound expires the follower is dropped like a dead one.
+	ReplicaAckTimeout time.Duration
+	// Follower makes the served miner a replication FOLLOWER: it accepts a
+	// primary's catch-up and replication stream, serves reads, and refuses
+	// writes (rpc.ErrNotPrimary on the wire) until promoted. Promotion —
+	// requested by a failing-over client or farmerctl — is granted only
+	// while no primary link is attached, so a live primary can never be
+	// contradicted (the split-brain guard). Mutually exclusive with
+	// ReplicateTo.
+	Follower bool
+	// Logf, if set, receives serve-time notices (a dropped follower, a
+	// promotion). Defaults to discarding them.
+	Logf func(format string, args ...any)
+}
+
+// serveBackend adapts a LocalMiner to the wire protocol's backend surface
+// and carries the replication role state: primary (replicating or not),
+// which routes every mutation through the rpc.Replicator so followers see
+// the exact acked stream, or follower, which refuses writes until promoted
+// and applies the primary's stream instead. ApplyEvents hands a remote
+// dispatcher's event batches to the ensemble (rpc.NetOwner's server side);
+// it is unavailable on replicated deployments, whose single source of
+// mining truth is the record stream.
+type serveBackend struct {
+	m          *LocalMiner
+	repl       *rpc.Replicator // non-nil on a replicating primary
+	drain      time.Duration
+	saveBudget time.Duration // routine-checkpoint bound (>= drain)
+	logf       func(format string, args ...any)
+
+	fmu      sync.Mutex
+	follower bool
+	promoted bool
+	srcConn  uint64 // connection id of the attached primary link (0 = none)
+}
+
+var _ rpc.ReplicaBackend = (*serveBackend)(nil)
+
+// writable reports whether this server currently accepts mutations:
+// primaries always, followers only once promoted.
+func (b *serveBackend) writable() error {
+	b.fmu.Lock()
+	defer b.fmu.Unlock()
+	if b.follower && !b.promoted {
+		return fmt.Errorf("%w: this farmerd is a replication follower; dial its primary or promote it", rpc.ErrNotPrimary)
+	}
+	return nil
+}
+
+func (b *serveBackend) Feed(r *trace.Record) error {
+	if err := b.writable(); err != nil {
+		return err
+	}
+	if b.repl == nil {
+		b.m.sm.Feed(r)
+		return nil
+	}
+	return b.repl.Ingest(context.Background(), []trace.Record{*r}, func() error {
+		b.m.sm.Feed(r)
+		return nil
+	})
+}
+
+func (b *serveBackend) FeedBatch(recs []trace.Record) error {
+	if err := b.writable(); err != nil {
+		return err
+	}
+	if b.repl == nil {
+		b.m.sm.FeedBatch(recs)
+		return nil
+	}
+	return b.repl.Ingest(context.Background(), recs, func() error {
+		b.m.sm.FeedBatch(recs)
+		return nil
+	})
+}
+
+func (b *serveBackend) Predict(f FileID, k int) []FileID     { return b.m.sm.Predict(f, k) }
+func (b *serveBackend) CorrelatorList(f FileID) []Correlator { return b.m.sm.CorrelatorList(f) }
+func (b *serveBackend) Stats() core.Stats                    { return b.m.sm.Stats() }
+
+func (b *serveBackend) ApplyEvents(evs []partition.Event) error {
+	if err := b.writable(); err != nil {
+		return err
+	}
+	if b.repl != nil {
+		// Event batches bypass the record stream the followers mirror;
+		// accepting them would silently fork primary and follower state.
+		return errors.New("farmer: a replicating primary does not accept external event streams (feed records instead)")
+	}
+	b.m.sm.ApplyExternal(evs)
+	return nil
+}
+
+// saveCtx bounds a routine checkpoint. The budget is generous (see
+// ServeConfig.DrainTimeout) — slow is fine, wedged is not: these saves run
+// on the serve loop, and an unbounded hang there would also make the
+// eventual drain unreachable.
+func (b *serveBackend) saveCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), b.saveBudget)
+}
+
+func (b *serveBackend) Save() error {
+	ctx, cancel := b.saveCtx()
+	defer cancel()
+	return b.m.Save(ctx)
+}
+
+func (b *serveBackend) Load() error {
+	if err := b.writable(); err != nil {
+		return err
+	}
+	if b.repl != nil {
+		return errors.New("farmer: cannot load a checkpoint into a replicating primary (restart it with -load instead)")
+	}
+	ctx, cancel := b.saveCtx()
+	defer cancel()
+	return b.m.Load(ctx)
+}
+
+// ------------------------------------------------------- replication surface
+
+func (b *serveBackend) Promote() error {
+	b.fmu.Lock()
+	defer b.fmu.Unlock()
+	if !b.follower || b.promoted {
+		return nil // already writable: promotion is an idempotent no-op
+	}
+	if b.srcConn != 0 {
+		return fmt.Errorf("%w: refusing promotion, the primary's replication link is live", rpc.ErrNotPrimary)
+	}
+	b.promoted = true
+	b.logf("promoted: accepting writes from now on")
+	return nil
+}
+
+func (b *serveBackend) Catchup(conn uint64, cut rpc.CatchupCut) error {
+	b.fmu.Lock()
+	if !b.follower {
+		b.fmu.Unlock()
+		return errors.New("farmer: this farmerd is not a follower (start it with -follow to accept a primary)")
+	}
+	if b.promoted {
+		b.fmu.Unlock()
+		return errors.New("farmer: promoted follower refuses a new primary (restart it to re-join as a follower)")
+	}
+	if b.srcConn != 0 && b.srcConn != conn {
+		b.fmu.Unlock()
+		return errors.New("farmer: already following a primary on another connection")
+	}
+	// Pin the source before installing: this connection is serial, so no
+	// replicate frame can race the install, and any other connection's
+	// catch-up is refused above.
+	b.srcConn = conn
+	b.fmu.Unlock()
+	if err := b.m.applyCatchup(cut); err != nil {
+		b.fmu.Lock()
+		b.srcConn = 0
+		b.fmu.Unlock()
+		return err
+	}
+	b.logf("caught up from primary at position %d (%d files)", cut.Pos, cut.FileCount)
+	return nil
+}
+
+// replicated guards one replication-stream frame: right source connection,
+// right stream position.
+func (b *serveBackend) replicated(conn uint64, pos uint64) error {
+	b.fmu.Lock()
+	src := b.srcConn
+	b.fmu.Unlock()
+	if src == 0 || src != conn {
+		return errors.New("farmer: replication frame from a connection that has not caught this follower up")
+	}
+	if fed := b.m.sm.Fed(); fed != pos {
+		return fmt.Errorf("farmer: replication stream position %d does not match follower position %d (gap or reorder)", pos, fed)
+	}
+	return nil
+}
+
+func (b *serveBackend) Replicate(conn uint64, pos uint64, recs []trace.Record) error {
+	if err := b.replicated(conn, pos); err != nil {
+		return err
+	}
+	b.m.sm.FeedBatch(recs)
+	return nil
+}
+
+func (b *serveBackend) ReplicateGroups(conn uint64, pos uint64, req rpc.GroupsReq) error {
+	if err := b.replicated(conn, pos); err != nil {
+		return err
+	}
+	_, err := b.m.BackupGroups(req.FileCount, req.MinDegree)
+	return err
+}
+
+func (b *serveBackend) Groups(req rpc.GroupsReq) (rpc.GroupsInfo, error) {
+	if req.Read {
+		return groupsInfo(b.m.ReplicaGroups()), nil
+	}
+	if err := b.writable(); err != nil {
+		return rpc.GroupsInfo{}, err
+	}
+	run := func() error {
+		_, err := b.m.BackupGroups(req.FileCount, req.MinDegree)
+		return err
+	}
+	var err error
+	if b.repl != nil {
+		// The cut rides the replication stream at the current position, so
+		// every follower executes it at the same record boundary and the
+		// group fingerprints stay comparable.
+		err = b.repl.Groups(context.Background(), req, run)
+	} else {
+		err = run()
+	}
+	if err != nil {
+		return rpc.GroupsInfo{}, err
+	}
+	return groupsInfo(b.m.ReplicaGroups()), nil
+}
+
+func groupsInfo(gi ReplicaGroupsInfo) rpc.GroupsInfo {
+	return rpc.GroupsInfo{Fingerprint: gi.Fingerprint, Groups: gi.Groups, Versions: gi.Versions}
+}
+
+func (b *serveBackend) ConnClosed(conn uint64) {
+	b.fmu.Lock()
+	defer b.fmu.Unlock()
+	if b.srcConn == conn {
+		b.srcConn = 0
+		b.logf("primary replication link lost; this follower is now promotable")
+	}
 }
 
 // Serve puts a local miner on the wire: it serves the FARMER rpc protocol
 // on lis until ctx is cancelled, then drains gracefully — in-flight
 // requests finish, responses flush, and (when the miner has a store) a
-// final checkpoint is written. It blocks for the duration and returns the
-// first serve, checkpoint, or drain error. This is the serving loop behind
+// final checkpoint is written. With cfg.ReplicateTo it serves as a
+// replication primary, with cfg.Follower as a promotable follower. It
+// blocks for the duration and returns the first serve, checkpoint,
+// replication-bootstrap, or drain error. This is the serving loop behind
 // cmd/farmerd and `farmerctl serve`.
 func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig) error {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
-	srv := rpc.NewServer(localBackend{m})
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Follower && len(cfg.ReplicateTo) > 0 {
+		return errors.New("farmer: a follower cannot replicate onward (chained replication is not supported)")
+	}
+	saveBudget := cfg.CheckpointTimeout
+	if saveBudget <= 0 {
+		saveBudget = max(cfg.DrainTimeout, cfg.Checkpoint, time.Minute)
+	}
+	backend := &serveBackend{m: m, drain: cfg.DrainTimeout, saveBudget: saveBudget, logf: cfg.Logf, follower: cfg.Follower}
+	if len(cfg.ReplicateTo) > 0 {
+		if cfg.ReplicaAckTimeout <= 0 {
+			cfg.ReplicaAckTimeout = 30 * time.Second
+		}
+		backend.repl = rpc.NewReplicator(m.sm.Fed(), cfg.ReplicaAckTimeout, func(addr string, err error) {
+			cfg.Logf("follower %s dropped from replication: %v", addr, err)
+		})
+		defer backend.repl.Close()
+		for _, addr := range cfg.ReplicateTo {
+			if err := backend.repl.Attach(ctx, addr, m.catchupCut); err != nil {
+				return err
+			}
+			cfg.Logf("follower %s caught up and attached", addr)
+		}
+	}
+	srv := rpc.NewServer(backend)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(lis) }()
@@ -63,13 +333,21 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 	// drain shuts the server down, writes the final checkpoint, and folds
 	// any earlier checkpoint error in — shared by the ctx-cancel path and
 	// the listener-failure path, so mined state is never lost to either.
+	// The drain context bounds BOTH halves: a hung store write counts
+	// against the same DrainTimeout as the connection drain.
 	var ckptErr error
 	drain := func(cause error) error {
 		dctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
 		defer cancel()
 		err := srv.Shutdown(dctx)
+		if backend.repl != nil {
+			// Flush the replication stream before the final checkpoint so a
+			// clean shutdown leaves every follower holding everything the
+			// primary acked.
+			backend.repl.Close()
+		}
 		if m.store != nil {
-			if serr := m.Save(context.Background()); serr != nil && err == nil {
+			if serr := m.Save(dctx); serr != nil && err == nil {
 				err = serr
 			}
 		}
@@ -84,7 +362,8 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 	for {
 		select {
 		case <-tick:
-			if err := m.Save(context.Background()); err != nil && ckptErr == nil {
+			err := backend.Save()
+			if err != nil && ckptErr == nil {
 				ckptErr = err
 			}
 		case err := <-serveErr:
