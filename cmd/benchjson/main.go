@@ -6,17 +6,27 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'Ingest|Cluster' -benchtime 1x ./... | benchjson
+//	benchjson -diff old.json new.json
 //
 // Each benchmark result line ("BenchmarkX-8  10  123 ns/op  45 records/s")
 // becomes one entry carrying the iteration count and every reported metric;
 // goos/goarch/cpu/pkg header lines are attached to the entries they precede.
+//
+// With -diff, two archived runs are compared instead: ns/op is
+// lower-is-better, any "/s" metric is higher-is-better, and a regression
+// beyond -threshold (default 20%) on a benchmark present in both runs makes
+// the command exit 1. Rows measured with a single iteration in either run
+// are reported but never gated — one iteration seeds the trajectory, it is
+// not a measurement.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,6 +48,20 @@ type Output struct {
 }
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two archived runs (old.json new.json) instead of converting stdin")
+	threshold := flag.Float64("threshold", 0.20, "fractional regression that fails the -diff comparison")
+	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-threshold 0.20] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+	convert()
+}
+
+func convert() {
 	out := Output{Results: []Result{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -69,6 +93,84 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runDiff compares two archived runs and returns the process exit code.
+// Benchmarks are matched by package + name; metrics other than ns/op and
+// rates ("/s" suffix) carry no agreed direction and are not compared.
+func runDiff(oldPath, newPath string, threshold float64) int {
+	oldRun, err := loadRun(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	newRun, err := loadRun(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	prev := map[string]Result{}
+	for _, r := range oldRun.Results {
+		prev[r.Pkg+"\x00"+r.Name] = r
+	}
+
+	regressions := 0
+	for _, nr := range newRun.Results {
+		or, ok := prev[nr.Pkg+"\x00"+nr.Name]
+		if !ok {
+			fmt.Printf("new       %-50s (no previous measurement)\n", nr.Name)
+			continue
+		}
+		gated := or.Iterations > 1 && nr.Iterations > 1
+		metrics := make([]string, 0, len(nr.Metrics))
+		for m := range nr.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			lowerBetter := m == "ns/op"
+			if !lowerBetter && !strings.HasSuffix(m, "/s") {
+				continue
+			}
+			ov, ok := or.Metrics[m]
+			if !ok || ov == 0 {
+				continue
+			}
+			nv := nr.Metrics[m]
+			// change > 0 is always "got worse" regardless of direction.
+			change := (nv - ov) / ov
+			if !lowerBetter {
+				change = -change
+			}
+			status := "ok       "
+			switch {
+			case !gated:
+				status = "untracked"
+			case change > threshold:
+				status = "REGRESSED"
+				regressions++
+			}
+			fmt.Printf("%s %-50s %-12s %14.4g -> %-14.4g (%+.1f%%)\n",
+				status, nr.Name, m, ov, nv, change*100)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d metric(s) regressed more than %.0f%%\n", regressions, threshold*100)
+		return 1
+	}
+	return 0
+}
+
+func loadRun(path string) (Output, error) {
+	var out Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return out, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
 }
 
 // parseResult decodes one "BenchmarkName-P  N  v1 u1  v2 u2 ..." line. Lines

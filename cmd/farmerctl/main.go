@@ -8,6 +8,7 @@
 //	farmerctl [flags] <experiment>...   regenerate evaluation artifacts
 //	farmerctl serve [flags]             serve a miner on the wire (mini farmerd)
 //	farmerctl ping  [flags]             round-trip a live farmerd and report latency
+//	farmerctl tenants [flags]           list a multi-tenant farmerd's live tenants
 //
 // Experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 table3 table4 ablation
 // quality asynclat cluster all. fig3 accepts -trace (default runs all four
@@ -19,6 +20,7 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,6 +41,8 @@ func main() {
 		code = runServe(args[1:])
 	case len(args) > 0 && args[0] == "ping":
 		code = runPing(args[1:])
+	case len(args) > 0 && args[0] == "tenants":
+		code = runTenants(args[1:])
 	default:
 		code = runExperiments(args)
 	}
@@ -68,6 +72,33 @@ func newFlagSet(name, oneLiner, argsHint string) *flag.FlagSet {
 	return fs
 }
 
+// multiFlag collects a repeatable string flag (one -auth per token grant).
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// dialFlags registers the client-side connection flags shared by ping and
+// tenants; the returned builder turns them into farmer.Dial options.
+func dialFlags(fs *flag.FlagSet) func() []farmer.DialOption {
+	tenant := fs.String("tenant", "", "tenant id to address (empty = the default tenant)")
+	token := fs.String("token", "", "bearer token for a farmerd running with -auth")
+	insecure := fs.Bool("tls-insecure", false, "dial over TLS without verifying the server certificate")
+	return func() []farmer.DialOption {
+		var opts []farmer.DialOption
+		if *tenant != "" {
+			opts = append(opts, farmer.WithTenant(*tenant))
+		}
+		if *token != "" {
+			opts = append(opts, farmer.WithToken(*token))
+		}
+		if *insecure {
+			opts = append(opts, farmer.WithDialTLS(&tls.Config{InsecureSkipVerify: true}))
+		}
+		return opts
+	}
+}
+
 // ------------------------------------------------------------------ serve
 
 func runServe(args []string) int {
@@ -78,18 +109,27 @@ func runServe(args []string) int {
 	shards := fs.Int("shards", 0, "miner shards (0/1 = single-lock)")
 	partName := fs.String("partition", "stripe", "shard partitioner: stripe, hash or group")
 	checkpoint := fs.Duration("checkpoint", 0, "periodic checkpoint interval (needs -store)")
+	tlsCert := fs.String("tls-cert", "", "PEM certificate for serving over TLS (needs -tls-key)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for serving over TLS (needs -tls-cert)")
+	var auth multiFlag
+	fs.Var(&auth, "auth", "bearer-token grant token=tenant,tenant or token=* (repeatable; any -auth makes auth mandatory)")
+	tenantsDir := fs.String("tenants-dir", "", "serve multiple tenants, each persisted under DIR/<tenant>/")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return usageErr(fs, "unexpected arguments %q", fs.Args())
 	}
 
 	err := daemon.Run(context.Background(), daemon.Options{
-		Addr:      *addr,
-		StorePath: *storePath,
-		Load:      *load,
-		Shards:    *shards,
-		Partition: *partName,
-		Ckpt:      *checkpoint,
+		Addr:       *addr,
+		StorePath:  *storePath,
+		Load:       *load,
+		Shards:     *shards,
+		Partition:  *partName,
+		Ckpt:       *checkpoint,
+		TLSCert:    *tlsCert,
+		TLSKey:     *tlsKey,
+		Auth:       auth,
+		TenantsDir: *tenantsDir,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "farmerctl serve: "+format+"\n", a...)
 		},
@@ -110,6 +150,7 @@ func runPing(args []string) int {
 	addr := fs.String("addr", "127.0.0.1:4727", "farmerd TCP address")
 	count := fs.Int("n", 5, "round trips to time")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-round-trip deadline")
+	dial := dialFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return usageErr(fs, "unexpected arguments %q", fs.Args())
@@ -120,7 +161,7 @@ func runPing(args []string) int {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	m, err := farmer.Dial(ctx, *addr)
+	m, err := farmer.Dial(ctx, *addr, dial()...)
 	if err != nil {
 		return fail("ping", err)
 	}
@@ -150,6 +191,41 @@ func runPing(args []string) int {
 	}
 	fmt.Printf("%s: %d round trips, min %v avg %v max %v; miner fed=%d files=%d lists=%d\n",
 		*addr, *count, min, sum/time.Duration(*count), max, st.Fed, st.TrackedFiles, st.Lists)
+	return 0
+}
+
+// ---------------------------------------------------------------- tenants
+
+func runTenants(args []string) int {
+	fs := newFlagSet("tenants", "list a multi-tenant farmerd's live tenants and their stats.", "[flags]")
+	addr := fs.String("addr", "127.0.0.1:4727", "farmerd TCP address")
+	timeout := fs.Duration("timeout", 5*time.Second, "request deadline")
+	dial := dialFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return usageErr(fs, "unexpected arguments %q", fs.Args())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	m, err := farmer.Dial(ctx, *addr, dial()...)
+	if err != nil {
+		return fail("tenants", err)
+	}
+	defer m.Close()
+
+	ts, err := m.Tenants(ctx)
+	if err != nil {
+		return fail("tenants", err)
+	}
+	fmt.Printf("%-24s %12s %10s %10s %12s\n", "TENANT", "FED", "FILES", "LISTS", "MEMORY")
+	for _, t := range ts {
+		name := t.Name
+		if name == "" {
+			name = "(default)"
+		}
+		fmt.Printf("%-24s %12d %10d %10d %12d\n", name, t.Stats.Fed, t.Stats.TrackedFiles, t.Stats.Lists, t.Stats.MemoryBytes)
+	}
 	return 0
 }
 

@@ -59,6 +59,70 @@ func TestServeExitCodes(t *testing.T) {
 	}
 }
 
+func TestTenantsExitCodes(t *testing.T) {
+	if c := runTenants([]string{"stray"}); c != 2 {
+		t.Fatalf("stray argument: exit %d, want 2", c)
+	}
+	if c := runTenants([]string{"-addr", "127.0.0.1:1", "-timeout", "500ms"}); c != 1 {
+		t.Fatalf("unreachable server: exit %d, want 1", c)
+	}
+}
+
+// TestServePingTenantsAuthLoopback wires the multi-tenant edge end to end
+// inside one binary: a serve with -tenants-dir and two -auth grants, pings
+// under good and bad tokens/tenants, a tenants listing, then a clean
+// SIGTERM drain.
+func TestServePingTenantsAuthLoopback(t *testing.T) {
+	const addr = "127.0.0.1:14736"
+	code := make(chan int, 1)
+	go func() {
+		code <- runServe([]string{"-addr", addr, "-tenants-dir", t.TempDir(),
+			"-auth", "root=*", "-auth", "alpha-token=alpha"})
+	}()
+
+	ping := func(extra ...string) int {
+		return runPing(append([]string{"-addr", addr, "-n", "1", "-timeout", "2s"}, extra...))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if c := ping("-token", "root"); c == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("serve never answered an authorized ping")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if c := ping(); c != 1 {
+		t.Fatalf("unauthenticated ping: exit %d, want 1", c)
+	}
+	if c := ping("-token", "wrong"); c != 1 {
+		t.Fatalf("unknown token: exit %d, want 1", c)
+	}
+	if c := ping("-token", "alpha-token", "-tenant", "beta"); c != 1 {
+		t.Fatalf("out-of-grant tenant: exit %d, want 1", c)
+	}
+	if c := ping("-token", "alpha-token", "-tenant", "alpha"); c != 0 {
+		t.Fatalf("granted tenant ping: exit %d, want 0", c)
+	}
+	if c := runTenants([]string{"-addr", addr, "-token", "root", "-timeout", "2s"}); c != 0 {
+		t.Fatalf("tenants listing: exit %d, want 0", c)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("serve exited %d", c)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not drain on SIGTERM")
+	}
+}
+
 // TestServePingLoopback wires the two subcommands together: serve in one
 // goroutine, ping it, SIGTERM the serve, assert both exit zero.
 func TestServePingLoopback(t *testing.T) {

@@ -10,7 +10,11 @@
 //	        [-shards N] [-partition stripe|hash|group]
 //	        [-checkpoint D] [-prefetch-k K]
 //	        [-weight P] [-strength S]
-//	        [-replicate-to addr,addr...] [-follow]
+//	        [-replicate-to addr,addr...] [-follow] [-replica-token T]
+//	        [-tls-cert cert.pem -tls-key key.pem]
+//	        [-auth token=tenant,tenant]... [-tenants-dir DIR]
+//	        [-max-tenants N] [-tenant-idle D]
+//	        [-tenant-max-shards N] [-tenant-max-mailbox N] [-tenant-max-memory B]
 //
 // With -store, mined state is checkpointed every -checkpoint interval and
 // once more on shutdown; -load restores the previous state at start, and
@@ -28,6 +32,15 @@
 // refuses writes until promoted, and accepts promotion (from a failing-over
 // multi-address farmer.Dial client) only after its primary's link is gone.
 // See DESIGN.md "Replication & failover".
+//
+// With -tenants-dir, the daemon is MULTI-TENANT: frames carrying a tenant
+// id lazily open one miner per tenant, persisted under DIR/<tenant>/, with
+// per-tenant budgets (-max-tenants, -tenant-idle eviction,
+// -tenant-max-shards/-tenant-max-mailbox/-tenant-max-memory). -tls-cert
+// and -tls-key serve the protocol over TLS; each repeatable -auth grant
+// maps a static bearer token to the tenants it may address ("*" = all),
+// and any -auth makes authentication mandatory. -replica-token is the
+// token this primary presents when its followers run with -auth.
 //
 // Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error.
 package main
@@ -62,6 +75,13 @@ func splitAddrs(s string) []string {
 	return out
 }
 
+// multiFlag collects a repeatable string flag (-auth can be given once per
+// token grant, since tenant lists already use commas).
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func run() int {
 	fs := flag.NewFlagSet("farmerd", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:4727", "TCP listen address")
@@ -77,6 +97,17 @@ func run() int {
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	replicateTo := fs.String("replicate-to", "", "comma-separated follower addresses to replicate to (serve as primary)")
 	follow := fs.Bool("follow", false, "serve as a replication follower: reads only until promoted")
+	replicaToken := fs.String("replica-token", "", "bearer token presented to -replicate-to followers running with -auth")
+	tlsCert := fs.String("tls-cert", "", "PEM certificate for serving over TLS (needs -tls-key)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for serving over TLS (needs -tls-cert)")
+	var auth multiFlag
+	fs.Var(&auth, "auth", "bearer-token grant token=tenant,tenant or token=* (repeatable; any -auth makes auth mandatory)")
+	tenantsDir := fs.String("tenants-dir", "", "serve multiple tenants, each persisted under DIR/<tenant>/ (empty = single-tenant)")
+	maxTenants := fs.Int("max-tenants", 0, "cap on concurrently live named tenants (0 = unlimited; needs -tenants-dir)")
+	tenantIdle := fs.Duration("tenant-idle", 0, "evict a tenant idle this long, checkpointing it first (0 = never; needs -tenants-dir)")
+	tenantMaxShards := fs.Int("tenant-max-shards", 0, "per-tenant shard budget (0 = unlimited; needs -tenants-dir)")
+	tenantMaxMailbox := fs.Int("tenant-max-mailbox", 0, "per-tenant prefetch mailbox depth budget (0 = unlimited; needs -tenants-dir)")
+	tenantMaxMemory := fs.Int64("tenant-max-memory", 0, "per-tenant model footprint budget in bytes (0 = unlimited; needs -tenants-dir)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "farmerd serves a FARMER miner over the wire protocol.\n\nusage: farmerd [flags]\n\nflags:\n")
 		fs.PrintDefaults()
@@ -103,7 +134,20 @@ func run() int {
 		Drain:       *drain,
 		ReplicateTo: splitAddrs(*replicateTo),
 		Follow:      *follow,
-		Logf:        logger.Printf,
+
+		TLSCert:      *tlsCert,
+		TLSKey:       *tlsKey,
+		Auth:         auth,
+		ReplicaToken: *replicaToken,
+
+		TenantsDir:       *tenantsDir,
+		MaxTenants:       *maxTenants,
+		TenantIdle:       *tenantIdle,
+		TenantMaxShards:  *tenantMaxShards,
+		TenantMaxMailbox: *tenantMaxMailbox,
+		TenantMaxMemory:  *tenantMaxMemory,
+
+		Logf: logger.Printf,
 	})
 	if errors.Is(err, daemon.ErrUsage) {
 		fmt.Fprintf(os.Stderr, "farmerd: %v\n", err)

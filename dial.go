@@ -2,6 +2,7 @@ package farmer
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"sync"
@@ -43,6 +44,7 @@ import (
 // promotion sweep. Reads always retry.
 type RemoteMiner struct {
 	addrs []string
+	opts  rpc.DialOptions // tenant binding, token, TLS — re-applied on every redial
 
 	mu     sync.Mutex
 	c      *rpc.Client // current connection, nil after a drop
@@ -52,19 +54,79 @@ type RemoteMiner struct {
 
 var _ Miner = (*RemoteMiner)(nil)
 
-// Dial connects to a farmerd at the first reachable of the given TCP
-// addresses and returns the remote miner. Later addresses are the failover
-// list, tried in order whenever the current connection dies. ctx bounds the
-// connection attempts only; per-call deadlines come from the contexts
-// passed to the Miner methods.
-func Dial(ctx context.Context, addrs ...string) (*RemoteMiner, error) {
-	if len(addrs) == 0 {
-		return nil, errors.New("farmer: Dial needs at least one address")
+// DialOption configures Dial.
+type DialOption func(*dialConfig) error
+
+type dialConfig struct {
+	failover []string
+	opts     rpc.DialOptions
+}
+
+// WithTenant binds the client to one tenant: every frame it sends carries
+// the tenant id, so the whole connection's traffic routes to that tenant's
+// miner on a multi-tenant farmerd. The binding survives reconnect and
+// failover — each redial re-binds before the first request. Empty (the
+// default) addresses the server's default tenant.
+func WithTenant(name string) DialOption {
+	return func(dc *dialConfig) error {
+		if err := rpc.ValidTenant(name); err != nil {
+			return err
+		}
+		dc.opts.Tenant = name
+		return nil
 	}
-	m := &RemoteMiner{addrs: addrs}
+}
+
+// WithToken presents a bearer token in the connection hello — required
+// against a farmerd running with -auth. Like the tenant binding, the token
+// is re-presented on every reconnect and failover dial.
+func WithToken(token string) DialOption {
+	return func(dc *dialConfig) error {
+		dc.opts.Token = token
+		return nil
+	}
+}
+
+// WithFailover appends addresses to the failover list: they are tried in
+// order whenever the current connection dies (see RemoteMiner's failover
+// contract).
+func WithFailover(addrs ...string) DialOption {
+	return func(dc *dialConfig) error {
+		dc.failover = append(dc.failover, addrs...)
+		return nil
+	}
+}
+
+// WithDialTLS dials every address over TLS with the given configuration —
+// the client half of farmerd -tls-cert/-tls-key.
+func WithDialTLS(cfg *tls.Config) DialOption {
+	return func(dc *dialConfig) error {
+		dc.opts.TLS = cfg
+		return nil
+	}
+}
+
+// Dial connects to a farmerd at addr (or, when it is unreachable, the
+// first reachable WithFailover address) and returns the remote miner. ctx
+// bounds the connection attempts only; per-call deadlines come from the
+// contexts passed to the Miner methods. A client dialed WithTenant or
+// WithToken performs the connection hello, which authenticates, binds the
+// tenant, and verifies the protocol version — against a pre-tenant farmerd
+// it fails with an error matching ErrBadVersion.
+func Dial(ctx context.Context, addr string, opts ...DialOption) (*RemoteMiner, error) {
+	if addr == "" {
+		return nil, errors.New("farmer: Dial needs an address")
+	}
+	dc := dialConfig{failover: []string{addr}}
+	for _, opt := range opts {
+		if err := opt(&dc); err != nil {
+			return nil, err
+		}
+	}
+	m := &RemoteMiner{addrs: dc.failover, opts: dc.opts}
 	var firstErr error
-	for i := range addrs {
-		c, err := rpc.Dial(ctx, addrs[i])
+	for i := range m.addrs {
+		c, err := rpc.DialWith(ctx, m.addrs[i], m.opts)
 		if err == nil {
 			m.c, m.cur = c, i
 			return m, nil
@@ -100,7 +162,7 @@ func (m *RemoteMiner) conn(ctx context.Context) (*rpc.Client, error) {
 	var lastErr error
 	for i := 0; i < len(m.addrs); i++ {
 		idx := (m.cur + i) % len(m.addrs)
-		c, err := rpc.Dial(ctx, m.addrs[idx])
+		c, err := rpc.DialWith(ctx, m.addrs[idx], m.opts)
 		if err != nil {
 			lastErr = err
 			continue
@@ -134,7 +196,7 @@ func (m *RemoteMiner) seekWritable(ctx context.Context) error {
 	}
 	for i := 1; i < len(m.addrs); i++ {
 		idx := (m.cur + i) % len(m.addrs)
-		c, err := rpc.Dial(ctx, m.addrs[idx])
+		c, err := rpc.DialWith(ctx, m.addrs[idx], m.opts)
 		if err != nil {
 			lastErr = err
 			continue
@@ -306,6 +368,32 @@ func (m *RemoteMiner) groups(ctx context.Context, req rpc.GroupsReq) (ReplicaGro
 		return nil
 	})
 	return info, err
+}
+
+// TenantStatus is one live tenant on a farmerd: its id (empty = the
+// default tenant) and a stats snapshot of its model.
+type TenantStatus struct {
+	Name  string
+	Stats ModelStats
+}
+
+// Tenants lists the tenants live on the server — the read behind
+// `farmerctl tenants`. Against a server with auth enabled, the listing is
+// filtered to the tenants this client's token is granted.
+func (m *RemoteMiner) Tenants(ctx context.Context) ([]TenantStatus, error) {
+	var out []TenantStatus
+	err := m.do(ctx, true, func(c *rpc.Client) error {
+		infos, err := c.Tenants(ctx)
+		if err != nil {
+			return err
+		}
+		out = make([]TenantStatus, len(infos))
+		for i, ti := range infos {
+			out[i] = TenantStatus{Name: ti.Name, Stats: ti.Stats}
+		}
+		return nil
+	})
+	return out, err
 }
 
 // Close drains outstanding calls and closes the connection. Idempotent.

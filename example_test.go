@@ -114,7 +114,7 @@ func ExampleDial_failover() {
 	_, primaryAddr, stopPrimary := newServed(farmer.ServeConfig{ReplicateTo: []string{followerAddr}})
 
 	// The client lists the primary first and the follower as its fallback.
-	miner, err := farmer.Dial(ctx, primaryAddr, followerAddr)
+	miner, err := farmer.Dial(ctx, primaryAddr, farmer.WithFailover(followerAddr))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,6 +141,82 @@ func ExampleDial_failover() {
 	// Output:
 	// records surviving the primary: 36
 	// after file 2, prefetch: [3]
+}
+
+// ExampleServe_multiTenant serves two isolated tenants from one listener.
+// Each tenant gets its own lazily opened miner, bearer tokens gate who may
+// bind which tenant, and the workloads never see each other: alpha's cycle
+// teaches it nothing about beta's.
+func ExampleServe_multiTenant() {
+	server, err := farmer.Open(farmer.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- farmer.Serve(ctx, lis, server, farmer.ServeConfig{
+			Tenants: &farmer.TenantsConfig{Shards: 2}, // memory-only tenants; set Dir to persist them
+			AuthTokens: map[string][]string{
+				"admin-secret": {"*"},     // every tenant, including the default
+				"alpha-secret": {"alpha"}, // exactly one
+			},
+		})
+	}()
+
+	dial := func(tenant, token string) *farmer.RemoteMiner {
+		m, err := farmer.Dial(context.Background(), lis.Addr().String(),
+			farmer.WithTenant(tenant), farmer.WithToken(token))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+	alpha := dial("alpha", "alpha-secret")
+	beta := dial("beta", "admin-secret")
+	if err := alpha.FeedBatch(context.Background(), sequence(1, 2, 3)); err != nil {
+		log.Fatal(err)
+	}
+	if err := beta.FeedBatch(context.Background(), sequence(7, 8, 9)); err != nil {
+		log.Fatal(err)
+	}
+
+	next, err := alpha.Predict(context.Background(), 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alpha after file 1:", next)
+	crossTenant, err := alpha.Predict(context.Background(), 7, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alpha after beta's file 7:", crossTenant)
+	tenants, err := beta.Tenants(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ts := range tenants {
+		if ts.Name != "" { // skip the default tenant (the server's own miner)
+			fmt.Printf("tenant %s fed %d\n", ts.Name, ts.Stats.Fed)
+		}
+	}
+
+	alpha.Close()
+	beta.Close()
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	server.Close()
+	// Output:
+	// alpha after file 1: [2]
+	// alpha after beta's file 7: []
+	// tenant alpha fed 36
+	// tenant beta fed 36
 }
 
 // ExampleMiner shows why the interface exists: the same function serves

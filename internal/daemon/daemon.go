@@ -6,15 +6,18 @@ package daemon
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"farmer"
+	"farmer/internal/rpc"
 )
 
 // ErrUsage marks option mistakes the commands report as exit code 2.
@@ -42,7 +45,64 @@ type Options struct {
 	// store still receives this follower's own checkpoints).
 	ReplicateTo []string
 	Follow      bool
-	Logf        func(format string, args ...any)
+
+	// TLSCert/TLSKey name a PEM certificate/key pair; both or neither.
+	// When set, the daemon serves the wire protocol over TLS.
+	TLSCert string
+	TLSKey  string
+	// Auth lists static bearer-token grants, each "token=tenant,tenant"
+	// ("*" grants every tenant). A non-empty list makes authentication
+	// mandatory: connections must open with a hello carrying a known token
+	// before any frame dispatches.
+	Auth []string
+	// ReplicaToken is presented when dialing ReplicateTo followers that
+	// themselves run with Auth (it must be granted "*" there).
+	ReplicaToken string
+
+	// TenantsDir turns the daemon multi-tenant: frames carrying a tenant
+	// id lazily open one miner per tenant, persisted under
+	// TenantsDir/<tenant>/store.wal. The remaining Tenant* knobs only
+	// apply with TenantsDir set.
+	TenantsDir string
+	// MaxTenants caps concurrently live named tenants (0 = unlimited).
+	MaxTenants int
+	// TenantIdle evicts a named tenant untouched for this long (0 = never):
+	// checkpointed to its store, closed, transparently reopened on the
+	// next frame.
+	TenantIdle time.Duration
+	// TenantMaxShards / TenantMaxMailbox / TenantMaxMemory are each
+	// tenant's admission budget: shard count, prefetch mailbox depth, and
+	// model footprint in bytes (0 = unlimited).
+	TenantMaxShards  int
+	TenantMaxMailbox int
+	TenantMaxMemory  int64
+
+	Logf func(format string, args ...any)
+}
+
+// ParseAuthSpec splits one -auth grant "token=tenant,tenant" (or
+// "token=*") into its token and tenant list, validating tenant ids.
+func ParseAuthSpec(spec string) (token string, tenants []string, err error) {
+	token, list, ok := strings.Cut(spec, "=")
+	if !ok || token == "" {
+		return "", nil, fmt.Errorf("auth grant %q is not token=tenant[,tenant...]", spec)
+	}
+	for _, t := range strings.Split(list, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if t != "*" {
+			if err := rpc.ValidTenant(t); err != nil {
+				return "", nil, fmt.Errorf("auth grant %q: %w", spec, err)
+			}
+		}
+		tenants = append(tenants, t)
+	}
+	if len(tenants) == 0 {
+		return "", nil, fmt.Errorf("auth grant %q grants no tenants (use token=* for all)", spec)
+	}
+	return token, tenants, nil
 }
 
 // Run serves a miner built from o until SIGINT/SIGTERM (or ctx cancels),
@@ -76,6 +136,38 @@ func Run(ctx context.Context, o Options) error {
 		if addr == "" {
 			return fmt.Errorf("%w: -replicate-to contains an empty address", ErrUsage)
 		}
+	}
+	if (o.TLSCert == "") != (o.TLSKey == "") {
+		return fmt.Errorf("%w: -tls-cert and -tls-key must be given together", ErrUsage)
+	}
+	if o.TenantsDir == "" {
+		switch {
+		case o.MaxTenants != 0:
+			return fmt.Errorf("%w: -max-tenants requires -tenants-dir", ErrUsage)
+		case o.TenantIdle != 0:
+			return fmt.Errorf("%w: -tenant-idle requires -tenants-dir", ErrUsage)
+		case o.TenantMaxShards != 0 || o.TenantMaxMailbox != 0 || o.TenantMaxMemory != 0:
+			return fmt.Errorf("%w: tenant budget flags require -tenants-dir", ErrUsage)
+		}
+	}
+	authTokens := make(map[string][]string, len(o.Auth))
+	for _, spec := range o.Auth {
+		token, tenants, err := ParseAuthSpec(spec)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrUsage, err)
+		}
+		authTokens[token] = append(authTokens[token], tenants...)
+	}
+	if len(authTokens) == 0 {
+		authTokens = nil
+	}
+	var tlsCfg *tls.Config
+	if o.TLSCert != "" {
+		cert, err := tls.LoadX509KeyPair(o.TLSCert, o.TLSKey)
+		if err != nil {
+			return fmt.Errorf("loading TLS key pair: %w", err)
+		}
+		tlsCfg = &tls.Config{Certificates: []tls.Certificate{cert}}
 	}
 	if o.Partition == "" {
 		o.Partition = "stripe"
@@ -130,7 +222,27 @@ func Run(ctx context.Context, o Options) error {
 	case len(o.ReplicateTo) > 0:
 		role = fmt.Sprintf("primary->%v", o.ReplicateTo)
 	}
-	logf("serving on %s (shards=%d partition=%s store=%q role=%s)", lis.Addr(), o.Shards, o.Partition, o.StorePath, role)
+	logf("serving on %s (shards=%d partition=%s store=%q role=%s tenants=%q tls=%t auth=%d)",
+		lis.Addr(), o.Shards, o.Partition, o.StorePath, role, o.TenantsDir, tlsCfg != nil, len(authTokens))
+
+	var tenantsCfg *farmer.TenantsConfig
+	if o.TenantsDir != "" {
+		tenantsCfg = &farmer.TenantsConfig{
+			Dir:    o.TenantsDir,
+			Config: cfg,
+			Shards: o.Shards,
+			Budget: farmer.TenantBudget{
+				MaxShards:      o.TenantMaxShards,
+				MaxMailbox:     o.TenantMaxMailbox,
+				MaxMemoryBytes: o.TenantMaxMemory,
+			},
+			MaxTenants: o.MaxTenants,
+			IdleAfter:  o.TenantIdle,
+		}
+		if o.PrefetchK > 0 {
+			tenantsCfg.Prefetch = &farmer.PrefetchConfig{K: o.PrefetchK}
+		}
+	}
 
 	sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -139,6 +251,10 @@ func Run(ctx context.Context, o Options) error {
 		DrainTimeout: o.Drain,
 		ReplicateTo:  o.ReplicateTo,
 		Follower:     o.Follow,
+		ReplicaToken: o.ReplicaToken,
+		TLS:          tlsCfg,
+		AuthTokens:   authTokens,
+		Tenants:      tenantsCfg,
 		Logf:         logf,
 	})
 	if pf := miner.Prefetcher(); pf != nil {

@@ -61,10 +61,35 @@ func TestRunUsageValidation(t *testing.T) {
 		{Addr: "x", Follow: true, ReplicateTo: []string{"y"}}, // follower replicating onward
 		{Addr: "x", Follow: true, Load: true, StorePath: "w"}, // follower loading local state
 		{Addr: "x", ReplicateTo: []string{""}},                // empty follower address
+		{Addr: "x", TLSCert: "cert.pem"},                      // cert without key
+		{Addr: "x", TLSKey: "key.pem"},                        // key without cert
+		{Addr: "x", MaxTenants: 4},                            // tenant knob without -tenants-dir
+		{Addr: "x", TenantIdle: time.Minute},                  // tenant knob without -tenants-dir
+		{Addr: "x", TenantMaxMemory: 1 << 20},                 // budget without -tenants-dir
+		{Addr: "x", Auth: []string{"no-equals"}},              // malformed auth grant
+		{Addr: "x", Auth: []string{"=tenant"}},                // empty token
+		{Addr: "x", Auth: []string{"tok="}},                   // empty grant
+		{Addr: "x", Auth: []string{"tok=bad tenant"}},         // invalid tenant id in grant
 	}
 	for i, o := range cases {
 		if err := Run(ctx, o); !errors.Is(err, ErrUsage) {
 			t.Fatalf("case %d: err = %v, want ErrUsage", i, err)
+		}
+	}
+}
+
+func TestParseAuthSpec(t *testing.T) {
+	tok, tenants, err := ParseAuthSpec("root=*")
+	if err != nil || tok != "root" || len(tenants) != 1 || tenants[0] != "*" {
+		t.Fatalf("root=*: %q %v %v", tok, tenants, err)
+	}
+	tok, tenants, err = ParseAuthSpec("t1=alpha,beta,")
+	if err != nil || tok != "t1" || len(tenants) != 2 || tenants[0] != "alpha" || tenants[1] != "beta" {
+		t.Fatalf("t1=alpha,beta,: %q %v %v", tok, tenants, err)
+	}
+	for _, bad := range []string{"", "noeq", "=x", "tok=", "tok=.dot", "tok=sp ace"} {
+		if _, _, err := ParseAuthSpec(bad); err == nil {
+			t.Fatalf("ParseAuthSpec(%q) accepted", bad)
 		}
 	}
 }
@@ -103,7 +128,7 @@ func TestRunReplicatedPair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := farmer.Dial(ctx, pAddr, fAddr)
+	client, err := farmer.Dial(ctx, pAddr, farmer.WithFailover(fAddr))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -118,7 +118,7 @@ func TestFailoverSIGKILL(t *testing.T) {
 		}
 	}()
 
-	client, err := farmer.Dial(ctx, primary.addr, follower.addr)
+	client, err := farmer.Dial(ctx, primary.addr, farmer.WithFailover(follower.addr))
 	if err != nil {
 		t.Fatal(err)
 	}

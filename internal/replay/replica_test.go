@@ -143,7 +143,7 @@ func TestFailoverLosesNoAckedRecord(t *testing.T) {
 		DrainTimeout: time.Millisecond,
 	})
 
-	client, err := farmer.Dial(ctx, pAddr, fAddr)
+	client, err := farmer.Dial(ctx, pAddr, farmer.WithFailover(fAddr))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,11 +3,13 @@ package rpc
 import (
 	"bufio"
 	"context"
+	"crypto/tls"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"farmer/internal/core"
@@ -42,8 +44,16 @@ type pending struct {
 // response by id. Requests are written through a dedicated goroutine that
 // coalesces a burst into one flush (per-connection write batching). Safe
 // for concurrent use.
+//
+// A Client is bound to one tenant: every frame it sends carries the tenant
+// id from its DialOptions (empty = the default tenant), so the server
+// routes the whole connection's traffic to that tenant's miner.
 type Client struct {
-	conn net.Conn
+	conn   net.Conn
+	tenant string
+	token  string
+
+	sawFrame atomic.Bool // any response frame ever decoded (version probe)
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -52,29 +62,79 @@ type Client struct {
 	closed  bool
 	failed  bool // fail ran (done is closed)
 
-	out      chan []byte
+	out      chan *frameBuf
 	quit     chan struct{} // closed by Close: writer flushes and exits
 	done     chan struct{} // closed when the reader exits
 	writerWG sync.WaitGroup
 }
 
+// DialOptions parameterises DialWith. The zero value reproduces Dial: TCP,
+// default tenant, no token, no TLS.
+type DialOptions struct {
+	// Tenant binds every frame this client sends to one tenant id (see
+	// ValidTenant); empty addresses the server's default tenant.
+	Tenant string
+	// Token is the bearer token presented in the connection's hello. A
+	// server configured with auth refuses everything else until the hello
+	// carried a token allowed the connection's tenants.
+	Token string
+	// TLS, when non-nil, wraps the connection in TLS with this config —
+	// the client half of farmerd -tls-cert/-tls-key.
+	TLS *tls.Config
+}
+
 // Dial connects to a FARMER rpc server at a TCP addr, honoring ctx for the
-// connection attempt.
+// connection attempt — DialWith with default options.
 func Dial(ctx context.Context, addr string) (*Client, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	return DialWith(ctx, addr, DialOptions{})
+}
+
+// DialWith connects to a FARMER rpc server and performs the protocol hello:
+// the token is presented (auth happens before any other frame dispatch) and
+// the server's protocol version is confirmed. A pre-tenant (v1) server
+// drops the hello without answering; DialWith reports that as ErrBadVersion
+// with an upgrade hint rather than a generic connection error.
+func DialWith(ctx context.Context, addr string, opts DialOptions) (*Client, error) {
+	if err := ValidTenant(opts.Tenant); err != nil {
+		return nil, err
+	}
+	var conn net.Conn
+	var err error
+	if opts.TLS != nil {
+		d := tls.Dialer{Config: opts.TLS}
+		conn, err = d.DialContext(ctx, "tcp", addr)
+	} else {
+		var d net.Dialer
+		conn, err = d.DialContext(ctx, "tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	c := newClient(conn, opts)
+	// Tenant-aware (or authenticating) clients open with the hello — it
+	// presents the token before anything else and doubles as the version
+	// probe. A default-tenant, tokenless Dial skips it, staying trivially
+	// compatible with servers (and tests) that never answer unprompted.
+	if opts.Tenant != "" || opts.Token != "" {
+		if err := c.hello(ctx); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("rpc: hello %s: %w", addr, err)
+		}
+	}
+	return c, nil
 }
 
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client {
+// NewClient wraps an established connection (default tenant, no hello —
+// valid against servers that run without auth).
+func NewClient(conn net.Conn) *Client { return newClient(conn, DialOptions{}) }
+
+func newClient(conn net.Conn, opts DialOptions) *Client {
 	c := &Client{
 		conn:    conn,
+		tenant:  opts.Tenant,
+		token:   opts.Token,
 		waiting: make(map[uint64]*pending),
-		out:     make(chan []byte, 256),
+		out:     make(chan *frameBuf, 256),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -84,6 +144,20 @@ func NewClient(conn net.Conn) *Client {
 	return c
 }
 
+// hello runs the connection-opening handshake. The EOF-without-any-frame
+// signature — the server read our v2 frame and hung up without answering —
+// is how a v1 farmerd treats a version it does not speak, so that case is
+// reported as ErrBadVersion with an upgrade hint instead of a bare
+// disconnect.
+func (c *Client) hello(ctx context.Context) error {
+	_, err := c.call(ctx, MsgHello, appendHello(nil, c.token))
+	if err != nil && errors.Is(err, ErrDisconnected) && !c.sawFrame.Load() {
+		return fmt.Errorf("%w: server closed the connection on a v%d hello without answering — it likely speaks an older protocol version; upgrade the server (%v)",
+			ErrBadVersion, ProtocolVersion, err)
+	}
+	return err
+}
+
 // writeLoop drains queued frames, coalescing everything available into one
 // buffered write and a single flush — the per-connection write batching
 // that lets a pipelined burst of Feeds cost one syscall.
@@ -91,19 +165,23 @@ func (c *Client) writeLoop() {
 	defer c.writerWG.Done()
 	bw := bufio.NewWriterSize(c.conn, 64<<10)
 	for {
-		var buf []byte
+		var buf *frameBuf
 		select {
 		case buf = <-c.out:
 		case <-c.quit:
 			bw.Flush()
 			return
 		}
-		bw.Write(buf)
+		// bufio.Writer.Write has copied (or written out) the bytes by the
+		// time it returns, so the buffer recycles immediately.
+		bw.Write(buf.b)
+		putFrameBuf(buf)
 	batch:
 		for {
 			select {
 			case more := <-c.out:
-				bw.Write(more)
+				bw.Write(more.b)
+				putFrameBuf(more)
 			default:
 				break batch
 			}
@@ -131,6 +209,7 @@ func (c *Client) readLoop() {
 			c.fail(err)
 			return
 		}
+		c.sawFrame.Store(true)
 		c.mu.Lock()
 		p := c.waiting[f.ID]
 		delete(c.waiting, f.ID)
@@ -169,7 +248,7 @@ func (c *Client) fail(err error) {
 // start enqueues one request and returns its pending slot. The body is
 // copied into the frame buffer, so the caller may reuse it.
 func (c *Client) start(typ MsgType, body []byte) (*pending, error) {
-	if len(body) > MaxFrame-frameHeader {
+	if len(body) > MaxFrame-frameHeaderMin-len(c.tenant) {
 		// Refuse locally: the server's ReadFrame would reject the frame and
 		// drop the connection, failing every pipelined call with it.
 		return nil, fmt.Errorf("%w: %d-byte body", ErrFrameTooLarge, len(body))
@@ -190,11 +269,13 @@ func (c *Client) start(typ MsgType, body []byte) (*pending, error) {
 	c.waiting[id] = p
 	c.mu.Unlock()
 
-	buf := AppendFrame(make([]byte, 0, frameHeader+4+len(body)), typ, id, body)
+	fb := getFrameBuf()
+	fb.b = AppendFrameTenant(fb.b, typ, id, c.tenant, body)
 	select {
-	case c.out <- buf:
+	case c.out <- fb:
 		return p, nil
 	case <-c.done:
+		putFrameBuf(fb)
 		c.forget(id)
 		return nil, c.lastErr()
 	}
@@ -277,11 +358,16 @@ func (c *Client) FeedBatch(ctx context.Context, recs []trace.Record) error {
 		return err
 	}
 	var pendings []*pending
+	// start copies the body into the frame buffer, so one pooled scratch
+	// serves every chunk — the hot feed path stops allocating per frame.
+	scratch := getFrameBuf()
+	defer putFrameBuf(scratch)
 	ship := func(chunk []trace.Record) error {
 		if len(chunk) == 0 {
 			return nil
 		}
-		p, err := c.start(MsgFeedBatch, appendRecords(nil, chunk))
+		scratch.b = appendRecords(scratch.b[:0], chunk)
+		p, err := c.start(MsgFeedBatch, scratch.b)
 		if err != nil {
 			return err
 		}
@@ -379,6 +465,16 @@ func (c *Client) Groups(ctx context.Context, req GroupsReq) (GroupsInfo, error) 
 		return GroupsInfo{}, err
 	}
 	return decodeGroupsInfo(body)
+}
+
+// Tenants lists the tenants live on the server with a stats snapshot each —
+// the wire half of `farmerctl tenants`.
+func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	body, err := c.call(ctx, MsgTenants, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeTenantInfos(body)
 }
 
 // Close drains gracefully: no new calls are accepted, outstanding responses

@@ -25,6 +25,8 @@ func FuzzFrameCodec(f *testing.F) {
 		{Pred: 7, Succ: 9, Credit: 0.9, Seq: 2},
 	})))
 	f.Add(AppendFrame(nil, MsgErr, 5, appendWireError(nil, CodeInternal, "boom")))
+	f.Add(AppendFrameTenant(nil, MsgFeed, 6, "tenant-a", trace.AppendRecord(nil, &rec)))
+	f.Add(AppendFrameTenant(nil, MsgHello, 7, "t.0", appendHello(nil, "secret")))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
@@ -33,7 +35,7 @@ func FuzzFrameCodec(f *testing.F) {
 		}
 		// Whatever decoded must re-encode byte-identically up to the frame
 		// we consumed.
-		re := AppendFrame(nil, fr.Type, fr.ID, fr.Body)
+		re := AppendFrameTenant(nil, fr.Type, fr.ID, fr.Tenant, fr.Body)
 		if !bytes.Equal(re, data[:len(re)]) {
 			t.Fatalf("frame re-encode mismatch:\n in  %x\n out %x", data[:len(re)], re)
 		}

@@ -38,6 +38,7 @@ type Replicator struct {
 	followers  []*replFollower
 	ackTimeout time.Duration
 	lost       func(addr string, err error)
+	dialOpts   DialOptions
 }
 
 type replFollower struct {
@@ -55,6 +56,17 @@ type replFollower struct {
 // for each follower dropped after a replication failure.
 func NewReplicator(pos uint64, ackTimeout time.Duration, lost func(addr string, err error)) *Replicator {
 	return &Replicator{pos: pos, ackTimeout: ackTimeout, lost: lost}
+}
+
+// SetDialOptions sets the options every later Attach dials followers with:
+// a tenant-bound replicator stamps its tenant id on every catch-up and
+// replication frame (the follower reassembles per-tenant streams from
+// per-tenant connections), and the token/TLS half authenticates against a
+// follower running with -auth or -tls-cert. Call before the first Attach.
+func (r *Replicator) SetDialOptions(opts DialOptions) {
+	r.mu.Lock()
+	r.dialOpts = opts
+	r.mu.Unlock()
 }
 
 // Pos reports the current stream position (records ingested through the
@@ -84,7 +96,10 @@ func (r *Replicator) Followers() []string {
 // returned error covers dialing, cutting and the follower's verification of
 // the cut.
 func (r *Replicator) Attach(ctx context.Context, addr string, cut func() (CatchupCut, error)) error {
-	c, err := Dial(ctx, addr)
+	r.mu.Lock()
+	opts := r.dialOpts
+	r.mu.Unlock()
+	c, err := DialWith(ctx, addr, opts)
 	if err != nil {
 		return fmt.Errorf("rpc: attaching follower %s: %w", addr, err)
 	}

@@ -50,13 +50,56 @@ type ReplicaBackend interface {
 	ConnClosed(conn uint64)
 }
 
+// Resolver maps a frame's tenant id to the backend serving that tenant —
+// the seam between the tenant-agnostic wire layer and farmer's registry.
+// BackendFor may create the tenant lazily; it returns an error wrapping
+// ErrTenantBudget when admission control refuses (travels as
+// CodeTenantBudget, so the one over-budget tenant fails without disturbing
+// its neighbors). Tenants snapshots the live tenants for MsgTenants.
+// Implementations must be safe for concurrent use.
+type Resolver interface {
+	BackendFor(tenant string) (Backend, error)
+	Tenants() []TenantInfo
+}
+
+// singleResolver adapts the historical one-backend server: the default
+// tenant resolves to it, any named tenant is refused.
+type singleResolver struct{ b Backend }
+
+func (s singleResolver) BackendFor(tenant string) (Backend, error) {
+	if tenant != "" {
+		return nil, fmt.Errorf("rpc: unknown tenant %q (single-tenant server)", tenant)
+	}
+	return s.b, nil
+}
+
+func (s singleResolver) Tenants() []TenantInfo {
+	return []TenantInfo{{Name: "", Stats: s.b.Stats()}}
+}
+
+// SingleTenant wraps one backend as a Resolver serving only the default
+// tenant — what NewServer uses, and the composition for deployments that
+// never name tenants.
+func SingleTenant(b Backend) Resolver { return singleResolver{b} }
+
+// ServerOptions parameterises NewResolverServer beyond the resolver.
+type ServerOptions struct {
+	// AuthTokens maps static bearer tokens to the tenant ids each may
+	// address; the value "*" allows every tenant. A nil map disables auth
+	// (every connection may address every tenant); a non-nil map makes the
+	// hello mandatory — any other frame before a successful hello is
+	// refused with CodeUnauthorized, before tenant dispatch.
+	AuthTokens map[string][]string
+}
+
 // Server serves the FARMER wire protocol over a listener. One goroutine per
 // connection reads and handles requests in order; responses go out through
 // a per-connection batching writer, so a pipelining client pays one flush
 // per burst rather than one per reply.
 type Server struct {
-	backend Backend
-	replica ReplicaBackend // backend's replication surface, nil if absent
+	resolver Resolver
+	auth     map[string]map[string]bool // token -> allowed tenants; nil disables auth
+	authAll  map[string]bool            // tokens allowed every tenant ("*")
 
 	connSeq atomic.Uint64
 
@@ -69,10 +112,33 @@ type Server struct {
 	handling sync.WaitGroup // in-flight connection loops
 }
 
-// NewServer creates a server for backend.
+// NewServer creates a single-tenant server for backend (no auth) — the
+// pre-tenant constructor, kept for compositions that put one miner on the
+// wire directly.
 func NewServer(b Backend) *Server {
-	rb, _ := b.(ReplicaBackend)
-	return &Server{backend: b, replica: rb, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	return NewResolverServer(SingleTenant(b), ServerOptions{})
+}
+
+// NewResolverServer creates a server that routes each frame to the backend
+// its tenant id resolves to.
+func NewResolverServer(r Resolver, opts ServerOptions) *Server {
+	s := &Server{resolver: r, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	if opts.AuthTokens != nil {
+		s.auth = make(map[string]map[string]bool, len(opts.AuthTokens))
+		s.authAll = make(map[string]bool)
+		for tok, tenants := range opts.AuthTokens {
+			set := make(map[string]bool, len(tenants))
+			for _, t := range tenants {
+				if t == "*" {
+					s.authAll[tok] = true
+					continue
+				}
+				set[t] = true
+			}
+			s.auth[tok] = set
+		}
+	}
+	return s
 }
 
 // Serve accepts connections on lis until Shutdown (or a listener error) and
@@ -172,31 +238,49 @@ func (s *Server) removeConn(conn net.Conn) {
 const MaxCatchupSnapshot = 2 << 30
 
 // connState is one connection's server-side state: its identity (the
-// replication source pin) and the partially accumulated catch-up snapshot.
+// replication source pin), the authenticated token's tenant grant, and the
+// partially accumulated per-tenant catch-up snapshots.
 type connState struct {
 	id      uint64
-	catchup []byte
+	authed  bool            // hello accepted, or auth disabled
+	all     bool            // token allows every tenant
+	allowed map[string]bool // token's tenant grant (nil when unrestricted)
+
+	catchup  map[string][]byte         // tenant -> accumulating snapshot
+	replicas map[string]ReplicaBackend // tenants whose replica surface this conn touched
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.removeConn(conn)
-	cs := &connState{id: s.connSeq.Add(1)}
-	if s.replica != nil {
-		// The backend learns the source link died even on an abrupt drop —
-		// that notification is what clears a follower's primary link and
-		// makes it promotable.
-		defer s.replica.ConnClosed(cs.id)
-	}
+	cs := &connState{id: s.connSeq.Add(1), authed: s.auth == nil}
+	// Each touched tenant's backend learns the source link died even on an
+	// abrupt drop — that notification is what clears a follower's primary
+	// link and makes it promotable.
+	defer func() {
+		for _, rb := range cs.replicas {
+			rb.ConnClosed(cs.id)
+		}
+	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	in := getFrameBuf() // read buffer, reused across frames: handle is
+	// synchronous and copies what it keeps, so the next read may clobber it
+	defer putFrameBuf(in)
 	var out []byte
 	for {
-		f, err := ReadFrame(br)
+		f, buf, err := readFrameBuf(br, in.b)
+		in.b = buf
 		if err != nil {
-			// EOF, deadline (drain), or protocol garbage — including a
-			// version mismatch, which the peer's own ReadFrame check
-			// surfaces on its side: flush what we owe and drop the
-			// connection.
+			if errors.Is(err, ErrBadVersion) {
+				// An old-protocol peer: answer with the one frame its
+				// decoder will at least partially parse, naming the upgrade,
+				// before hanging up.
+				bw.Write(AppendFrame(out[:0], MsgErr, 0,
+					appendWireError(nil, CodeBadVersion,
+						fmt.Sprintf("server speaks protocol v%d; upgrade the client", ProtocolVersion))))
+			}
+			// EOF, deadline (drain), or protocol garbage: flush what we owe
+			// and drop the connection.
 			bw.Flush()
 			return
 		}
@@ -214,7 +298,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// handle executes one request and appends the response frame to dst.
+// handle executes one request and appends the response frame to dst. The
+// order of the gates is the protocol's security story: hello/auth first
+// (nothing dispatches unauthenticated), then the token's tenant grant, then
+// tenant resolution (admission control), then the request itself.
 func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 	conn := cs.id
 	ok := func(body []byte) []byte { return AppendFrame(dst, MsgOK, f.ID, body) }
@@ -222,14 +309,85 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		return AppendFrame(dst, MsgErr, f.ID, appendWireError(nil, code, err.Error()))
 	}
 	// backendErr maps a backend refusal to its wire code: a follower's
-	// not-primary refusal keeps its type across the wire so a failing-over
-	// client can match it.
+	// not-primary refusal and a budget refusal keep their types across the
+	// wire so a failing-over (or over-budget) client can match them.
 	backendErr := func(err error) []byte {
-		if errors.Is(err, ErrNotPrimary) {
+		switch {
+		case errors.Is(err, ErrNotPrimary):
 			return fail(CodeNotPrimary, err)
+		case errors.Is(err, ErrTenantBudget):
+			return fail(CodeTenantBudget, err)
 		}
 		return fail(CodeInternal, err)
 	}
+
+	if f.Type == MsgHello {
+		token, err := decodeHello(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		if s.auth != nil {
+			allowed, found := s.auth[token]
+			if !found {
+				return fail(CodeUnauthorized, errors.New("rpc: unknown bearer token"))
+			}
+			// A tenant-bound client stamps its tenant on the hello like any
+			// other frame; refusing an out-of-grant binding here fails the
+			// dial itself, before a single request dispatches.
+			if f.Tenant != "" && !s.authAll[token] && !allowed[f.Tenant] {
+				return fail(CodeUnauthorized, fmt.Errorf("rpc: token not authorized for tenant %q", f.Tenant))
+			}
+			cs.allowed = allowed
+			cs.all = s.authAll[token]
+		}
+		cs.authed = true
+		return ok([]byte{ProtocolVersion})
+	}
+	if !cs.authed {
+		return fail(CodeUnauthorized, errors.New("rpc: authentication required (send a hello with a bearer token first)"))
+	}
+	if err := ValidTenant(f.Tenant); err != nil {
+		return fail(CodeBadRequest, err)
+	}
+	if f.Type == MsgTenants {
+		// The listing is not tenant-addressed — any authenticated caller may
+		// ask, and a restricted token sees only its granted tenants.
+		infos := s.resolver.Tenants()
+		if cs.allowed != nil && !cs.all {
+			vis := infos[:0]
+			for _, ti := range infos {
+				if cs.allowed[ti.Name] {
+					vis = append(vis, ti)
+				}
+			}
+			infos = vis
+		}
+		return ok(appendTenantInfos(nil, infos))
+	}
+	if !cs.all && cs.allowed != nil && !cs.allowed[f.Tenant] {
+		return fail(CodeUnauthorized, fmt.Errorf("rpc: token not authorized for tenant %q", f.Tenant))
+	}
+
+	b, err := s.resolver.BackendFor(f.Tenant)
+	if err != nil {
+		if errors.Is(err, ErrTenantBudget) {
+			return fail(CodeTenantBudget, err)
+		}
+		return fail(CodeBadRequest, err)
+	}
+	// replica is the tenant's replication surface; touching it pins this
+	// connection as a potential replication source for that tenant.
+	replica := func() ReplicaBackend {
+		rb, _ := b.(ReplicaBackend)
+		if rb != nil {
+			if cs.replicas == nil {
+				cs.replicas = make(map[string]ReplicaBackend)
+			}
+			cs.replicas[f.Tenant] = rb
+		}
+		return rb
+	}
+
 	switch f.Type {
 	case MsgPing:
 		return ok(nil)
@@ -241,7 +399,7 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		if err != nil {
 			return fail(CodeBadRequest, err)
 		}
-		if err := s.backend.Feed(&r); err != nil {
+		if err := b.Feed(&r); err != nil {
 			return backendErr(err)
 		}
 		return ok(nil)
@@ -250,7 +408,7 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		if err != nil {
 			return fail(CodeBadRequest, err)
 		}
-		if err := s.backend.FeedBatch(recs); err != nil {
+		if err := b.FeedBatch(recs); err != nil {
 			return backendErr(err)
 		}
 		return ok(nil)
@@ -259,7 +417,7 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		if err != nil {
 			return fail(CodeBadRequest, err)
 		}
-		return ok(appendFileIDs(nil, s.backend.Predict(file, k)))
+		return ok(appendFileIDs(nil, b.Predict(file, k)))
 	case MsgList:
 		file, rest, err := consumeU32(f.Body)
 		if err == nil && len(rest) != 0 {
@@ -268,16 +426,16 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		if err != nil {
 			return fail(CodeBadRequest, err)
 		}
-		return ok(appendCorrelators(nil, s.backend.CorrelatorList(trace.FileID(file))))
+		return ok(appendCorrelators(nil, b.CorrelatorList(trace.FileID(file))))
 	case MsgStats:
-		return ok(appendStats(nil, s.backend.Stats()))
+		return ok(appendStats(nil, b.Stats()))
 	case MsgSave:
-		if err := s.backend.Save(); err != nil {
+		if err := b.Save(); err != nil {
 			return backendErr(err)
 		}
 		return ok(nil)
 	case MsgLoad:
-		if err := s.backend.Load(); err != nil {
+		if err := b.Load(); err != nil {
 			return backendErr(err)
 		}
 		return ok(nil)
@@ -286,48 +444,60 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		if err != nil {
 			return fail(CodeBadRequest, err)
 		}
-		if err := s.backend.ApplyEvents(evs); err != nil {
+		if err := b.ApplyEvents(evs); err != nil {
 			return backendErr(err)
 		}
 		return ok(nil)
 	case MsgPromote:
-		if s.replica == nil {
+		rb := replica()
+		if rb == nil {
 			return fail(CodeUnsupported, errReplicaUnsupported)
 		}
-		if err := s.replica.Promote(); err != nil {
+		if err := rb.Promote(); err != nil {
 			return backendErr(err)
 		}
 		return ok(nil)
 	case MsgCatchupChunk:
-		if s.replica == nil {
+		if rb := replica(); rb == nil {
 			return fail(CodeUnsupported, errReplicaUnsupported)
 		}
-		if len(cs.catchup)+len(f.Body) > MaxCatchupSnapshot {
-			cs.catchup = nil
+		if len(cs.catchup[f.Tenant])+len(f.Body) > MaxCatchupSnapshot {
+			delete(cs.catchup, f.Tenant)
 			return fail(CodeBadRequest, fmt.Errorf("rpc: catch-up snapshot exceeds %d bytes", MaxCatchupSnapshot))
 		}
-		cs.catchup = append(cs.catchup, f.Body...)
+		if cs.catchup == nil {
+			cs.catchup = make(map[string][]byte)
+		}
+		cs.catchup[f.Tenant] = append(cs.catchup[f.Tenant], f.Body...)
 		return ok(nil)
 	case MsgCatchup:
-		if s.replica == nil {
+		rb := replica()
+		if rb == nil {
 			return fail(CodeUnsupported, errReplicaUnsupported)
 		}
 		cut, err := decodeCatchup(f.Body)
 		if err != nil {
 			return fail(CodeBadRequest, err)
 		}
-		if len(cs.catchup) > 0 {
+		if chunks := cs.catchup[f.Tenant]; len(chunks) > 0 {
 			// Chunked transfer: this frame carries the final piece; the
-			// rest arrived as MsgCatchupChunk frames on this connection.
-			cut.Snapshot = append(cs.catchup, cut.Snapshot...)
-			cs.catchup = nil
+			// rest arrived as MsgCatchupChunk frames on this connection,
+			// reassembled per tenant so interleaved streams cannot mix.
+			cut.Snapshot = append(chunks, cut.Snapshot...)
+			delete(cs.catchup, f.Tenant)
+		} else {
+			// The decoded snapshot aliases the connection's reused read
+			// buffer; the backend may hold it past this request (bootstrap
+			// is cold, the copy is cheap).
+			cut.Snapshot = append([]byte(nil), cut.Snapshot...)
 		}
-		if err := s.replica.Catchup(conn, cut); err != nil {
+		if err := rb.Catchup(conn, cut); err != nil {
 			return backendErr(err)
 		}
 		return ok(nil)
 	case MsgReplicate:
-		if s.replica == nil {
+		rb := replica()
+		if rb == nil {
 			return fail(CodeUnsupported, errReplicaUnsupported)
 		}
 		pos, kind, payload, err := decodeReplicate(f.Body)
@@ -340,7 +510,7 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 			if err != nil {
 				return fail(CodeBadRequest, err)
 			}
-			if err := s.replica.Replicate(conn, pos, recs); err != nil {
+			if err := rb.Replicate(conn, pos, recs); err != nil {
 				return backendErr(err)
 			}
 		case replKindGroups:
@@ -348,7 +518,7 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 			if err != nil {
 				return fail(CodeBadRequest, err)
 			}
-			if err := s.replica.ReplicateGroups(conn, pos, req); err != nil {
+			if err := rb.ReplicateGroups(conn, pos, req); err != nil {
 				return backendErr(err)
 			}
 		default:
@@ -356,14 +526,15 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		}
 		return ok(nil)
 	case MsgGroups:
-		if s.replica == nil {
+		rb := replica()
+		if rb == nil {
 			return fail(CodeUnsupported, errReplicaUnsupported)
 		}
 		req, err := decodeGroupsReq(f.Body)
 		if err != nil {
 			return fail(CodeBadRequest, err)
 		}
-		info, err := s.replica.Groups(req)
+		info, err := rb.Groups(req)
 		if err != nil {
 			return backendErr(err)
 		}

@@ -1,0 +1,262 @@
+package rpc
+
+// Wire-level tests for the multi-tenant protocol surface: version-skew
+// reporting in both directions, the auth gates in front of dispatch, the
+// per-token tenant grant, and tenant-id routing through a Resolver.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"farmer/internal/trace"
+)
+
+// mapResolver is the test Resolver: a fixed tenant -> backend map.
+type mapResolver map[string]*minerBackend
+
+func (m mapResolver) BackendFor(tenant string) (Backend, error) {
+	b, ok := m[tenant]
+	if !ok {
+		return nil, fmt.Errorf("unknown tenant %q", tenant)
+	}
+	return b, nil
+}
+
+func (m mapResolver) Tenants() []TenantInfo {
+	var infos []TenantInfo
+	for name, b := range m {
+		infos = append(infos, TenantInfo{Name: name, Stats: b.Stats()})
+	}
+	return infos
+}
+
+func startResolverServer(t *testing.T, r Resolver, opts ServerOptions) (string, func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewResolverServer(r, opts)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	return lis.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+// TestTenantClientAgainstOldServer: a tenant-aware client dialing a server
+// that predates the tenant protocol gets ErrBadVersion with an upgrade
+// hint, not a bare disconnect. The fake old server does what a v1 farmerd
+// did with a frame whose version byte it does not know: hang up without
+// answering.
+func TestTenantClientAgainstOldServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				// Read the client's hello, "fail to parse" it, hang up —
+				// the v1 server's reaction to an unknown version byte.
+				io.ReadAtLeast(c, make([]byte, 5), 5)
+				c.Close()
+			}(conn)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err = DialWith(ctx, lis.Addr().String(), DialOptions{Tenant: "alpha"})
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("dial against old server: err %v, want ErrBadVersion", err)
+	}
+	if !strings.Contains(err.Error(), "upgrade the server") {
+		t.Fatalf("error carries no upgrade hint: %v", err)
+	}
+}
+
+// TestOldClientAgainstNewServer: the reverse skew. A v1 frame (version
+// byte 1) is answered with one MsgErr frame naming CodeBadVersion and the
+// upgrade, then the connection drops — the most an old decoder can be
+// given.
+func TestOldClientAgainstNewServer(t *testing.T) {
+	addr, _, stop := startServer(t, newMinerBackend(1))
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A v1-shaped ping: u32 len, version=1, type, u64 id — no tenant byte.
+	old := binary.LittleEndian.AppendUint32(nil, 10)
+	old = append(old, 1, byte(MsgPing))
+	old = binary.LittleEndian.AppendUint64(old, 7)
+	if _, err := conn.Write(old); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("no version-mismatch answer before hangup: %v", err)
+	}
+	if f.Type != MsgErr {
+		t.Fatalf("answer type %d, want MsgErr", f.Type)
+	}
+	werr := decodeWireError(f.Body)
+	if !errors.Is(werr, ErrBadVersion) {
+		t.Fatalf("answer error %v, want ErrBadVersion", werr)
+	}
+	if !strings.Contains(werr.Error(), "upgrade the client") {
+		t.Fatalf("answer carries no upgrade hint: %v", werr)
+	}
+	// And then the hangup.
+	if _, err := ReadFrame(bufio.NewReader(conn)); err == nil {
+		t.Fatal("old-version connection was kept open")
+	}
+}
+
+// TestAuthGates exercises the hello/auth gate order: unknown tokens fail
+// the dial, out-of-grant tenant bindings fail the dial, unauthenticated
+// frames are refused before dispatch, and a granted token passes.
+func TestAuthGates(t *testing.T) {
+	r := mapResolver{"": newMinerBackend(1), "a": newMinerBackend(1), "b": newMinerBackend(1)}
+	addr, stop := startResolverServer(t, r, ServerOptions{AuthTokens: map[string][]string{
+		"root":  {"*"},
+		"tok-a": {"a"},
+	}})
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if _, err := DialWith(ctx, addr, DialOptions{Token: "nope"}); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("unknown token: err %v, want ErrUnauthorized", err)
+	}
+	if _, err := DialWith(ctx, addr, DialOptions{Tenant: "b", Token: "tok-a"}); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("out-of-grant binding: err %v, want ErrUnauthorized", err)
+	}
+
+	// No hello at all: every frame type is refused before dispatch.
+	anon := dialT(t, addr)
+	defer anon.Close()
+	if _, err := anon.Ping(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("unauthenticated ping: err %v, want ErrUnauthorized", err)
+	}
+	if _, err := anon.Stats(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("unauthenticated stats: err %v, want ErrUnauthorized", err)
+	}
+
+	// Granted: tok-a on tenant a works end to end.
+	ca, err := DialWith(ctx, addr, DialOptions{Tenant: "a", Token: "tok-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	if _, err := ca.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.Record{File: 1, Path: "/x"}
+	if err := ca.Feed(ctx, &rec); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ca.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fed != 1 {
+		t.Fatalf("tenant a fed %d, want 1", st.Fed)
+	}
+	// The feed landed on tenant a's backend, nobody else's.
+	if got := r["a"].Stats().Fed; got != 1 {
+		t.Fatalf("backend a fed %d, want 1", got)
+	}
+	if got := r[""].Stats().Fed + r["b"].Stats().Fed; got != 0 {
+		t.Fatalf("other backends fed %d, want 0", got)
+	}
+}
+
+// TestTenantsListingFiltered: MsgTenants shows a restricted token only its
+// granted tenants; a "*" token sees everything.
+func TestTenantsListingFiltered(t *testing.T) {
+	r := mapResolver{"": newMinerBackend(1), "a": newMinerBackend(1), "b": newMinerBackend(1)}
+	addr, stop := startResolverServer(t, r, ServerOptions{AuthTokens: map[string][]string{
+		"root":  {"*"},
+		"tok-a": {"a"},
+	}})
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	ca, err := DialWith(ctx, addr, DialOptions{Token: "tok-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	infos, err := ca.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "a" {
+		t.Fatalf("restricted listing %+v, want exactly tenant a", infos)
+	}
+
+	root, err := DialWith(ctx, addr, DialOptions{Token: "root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+	infos, err = root.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("root listing has %d tenants, want 3: %+v", len(infos), infos)
+	}
+}
+
+// TestInvalidTenantRefused: a malformed tenant id in a frame is refused at
+// the gate (the dialing client validates too, so this goes through a raw
+// frame).
+func TestInvalidTenantRefused(t *testing.T) {
+	addr, _, stop := startServer(t, newMinerBackend(1))
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(AppendFrameTenant(nil, MsgPing, 3, ".hidden", nil)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgErr || f.ID != 3 {
+		t.Fatalf("got frame %+v, want MsgErr id 3", f)
+	}
+	if werr := decodeWireError(f.Body); !strings.Contains(werr.Error(), "tenant") {
+		t.Fatalf("refusal does not name the tenant id: %v", werr)
+	}
+}

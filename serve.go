@@ -2,10 +2,12 @@ package farmer
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"farmer/internal/core"
@@ -54,9 +56,31 @@ type ServeConfig struct {
 	// contradicted (the split-brain guard). Mutually exclusive with
 	// ReplicateTo.
 	Follower bool
+	// ReplicaToken is the bearer token presented when dialing followers —
+	// required when the followers run with AuthTokens (it must be granted
+	// every tenant there, i.e. mapped to "*").
+	ReplicaToken string
+	// ReplicaTLS, when non-nil, dials followers over TLS.
+	ReplicaTLS *tls.Config
 	// Logf, if set, receives serve-time notices (a dropped follower, a
 	// promotion). Defaults to discarding them.
 	Logf func(format string, args ...any)
+
+	// TLS, when non-nil, serves the protocol over TLS on the listener —
+	// the server half of farmerd -tls-cert/-tls-key.
+	TLS *tls.Config
+	// AuthTokens maps static bearer tokens to the tenant ids each may
+	// address ("*" grants every tenant). When non-nil, every connection
+	// must open with a hello carrying a known token before any frame
+	// dispatches; unknown tokens and out-of-grant tenants are refused with
+	// ErrUnauthorized. nil disables auth.
+	AuthTokens map[string][]string
+	// Tenants, when non-nil, turns the daemon multi-tenant: frames carrying
+	// a tenant id resolve through a Registry that lazily opens one miner
+	// (plus store, checkpoint schedule and replication stream) per tenant.
+	// nil keeps the historical single-tenant behavior — named tenants are
+	// refused, the provided miner serves the default tenant.
+	Tenants *TenantsConfig
 }
 
 // serveBackend adapts a LocalMiner to the wire protocol's backend surface
@@ -73,6 +97,14 @@ type serveBackend struct {
 	drain      time.Duration
 	saveBudget time.Duration // routine-checkpoint bound (>= drain)
 	logf       func(format string, args ...any)
+
+	// tenant and budget carry the registry's admission control: feeds are
+	// refused with ErrTenantBudget once the tenant's model footprint
+	// clears budget.MaxMemoryBytes (default tenant: zero budget, unlimited).
+	tenant     string
+	budget     TenantBudget
+	memPending atomic.Int64 // records since the last footprint check
+	overBudget atomic.Bool
 
 	fmu      sync.Mutex
 	follower bool
@@ -93,8 +125,42 @@ func (b *serveBackend) writable() error {
 	return nil
 }
 
+// budgetCheckStride is how many ingested records a tenant goes between
+// memory-budget rechecks: Stats walks every tracked file, so a per-feed
+// check would make ingestion quadratic. A variable only so tests can force
+// a check on small feeds.
+var budgetCheckStride int64 = 4096
+
+// admit is the feed-path half of tenant admission control: it refuses the
+// batch with an error wrapping ErrTenantBudget (CodeTenantBudget on the
+// wire) once the tenant's model footprint exceeds its budget. The check is
+// throttled to every budgetCheckStride records — the cap is enforced at
+// stride granularity, trading exactness for a non-quadratic hot path — and
+// an over-budget tenant keeps rechecking, so a Load that shrinks the model
+// readmits it.
+func (b *serveBackend) admit(n int) error {
+	if b.budget.MaxMemoryBytes <= 0 {
+		return nil
+	}
+	if b.memPending.Add(int64(n)) < budgetCheckStride && !b.overBudget.Load() {
+		return nil
+	}
+	b.memPending.Store(0)
+	mem := b.m.sm.Stats().MemoryBytes
+	if mem > b.budget.MaxMemoryBytes {
+		b.overBudget.Store(true)
+		return fmt.Errorf("%w: tenant %q model holds %d bytes, budget caps it at %d",
+			rpc.ErrTenantBudget, b.tenant, mem, b.budget.MaxMemoryBytes)
+	}
+	b.overBudget.Store(false)
+	return nil
+}
+
 func (b *serveBackend) Feed(r *trace.Record) error {
 	if err := b.writable(); err != nil {
+		return err
+	}
+	if err := b.admit(1); err != nil {
 		return err
 	}
 	if b.repl == nil {
@@ -109,6 +175,9 @@ func (b *serveBackend) Feed(r *trace.Record) error {
 
 func (b *serveBackend) FeedBatch(recs []trace.Record) error {
 	if err := b.writable(); err != nil {
+		return err
+	}
+	if err := b.admit(len(recs)); err != nil {
 		return err
 	}
 	if b.repl == nil {
@@ -281,10 +350,12 @@ func (b *serveBackend) ConnClosed(conn uint64) {
 
 // Serve puts a local miner on the wire: it serves the FARMER rpc protocol
 // on lis until ctx is cancelled, then drains gracefully — in-flight
-// requests finish, responses flush, and (when the miner has a store) a
+// requests finish, responses flush, and (when a miner has a store) a
 // final checkpoint is written. With cfg.ReplicateTo it serves as a
-// replication primary, with cfg.Follower as a promotable follower. It
-// blocks for the duration and returns the first serve, checkpoint,
+// replication primary, with cfg.Follower as a promotable follower, with
+// cfg.Tenants as a multi-tenant daemon whose Registry opens one miner per
+// tenant on demand (m serves the default tenant either way). It blocks for
+// the duration and returns the first serve, checkpoint,
 // replication-bootstrap, or drain error. This is the serving loop behind
 // cmd/farmerd and `farmerctl serve`.
 func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig) error {
@@ -309,6 +380,7 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 		backend.repl = rpc.NewReplicator(m.sm.Fed(), cfg.ReplicaAckTimeout, func(addr string, err error) {
 			cfg.Logf("follower %s dropped from replication: %v", addr, err)
 		})
+		backend.repl.SetDialOptions(rpc.DialOptions{Token: cfg.ReplicaToken, TLS: cfg.ReplicaTLS})
 		defer backend.repl.Close()
 		for _, addr := range cfg.ReplicateTo {
 			if err := backend.repl.Attach(ctx, addr, m.catchupCut); err != nil {
@@ -317,39 +389,47 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 			cfg.Logf("follower %s caught up and attached", addr)
 		}
 	}
-	srv := rpc.NewServer(backend)
+	reg := newRegistry(cfg, saveBudget)
+	reg.registerDefault(m, backend)
+	defer reg.closeReplicators()
+	srv := rpc.NewResolverServer(reg, rpc.ServerOptions{AuthTokens: cfg.AuthTokens})
+	if cfg.TLS != nil {
+		lis = tls.NewListener(lis, cfg.TLS)
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(lis) }()
 
-	var ticker *time.Ticker
 	var tick <-chan time.Time
-	if cfg.Checkpoint > 0 && m.store != nil {
-		ticker = time.NewTicker(cfg.Checkpoint)
+	if cfg.Checkpoint > 0 && (m.store != nil || (cfg.Tenants != nil && cfg.Tenants.Dir != "")) {
+		ticker := time.NewTicker(cfg.Checkpoint)
 		defer ticker.Stop()
 		tick = ticker.C
 	}
+	var evict <-chan time.Time
+	if cfg.Tenants != nil && cfg.Tenants.IdleAfter > 0 {
+		period := max(cfg.Tenants.IdleAfter/4, 10*time.Millisecond)
+		evicter := time.NewTicker(period)
+		defer evicter.Stop()
+		evict = evicter.C
+	}
 
-	// drain shuts the server down, writes the final checkpoint, and folds
-	// any earlier checkpoint error in — shared by the ctx-cancel path and
-	// the listener-failure path, so mined state is never lost to either.
-	// The drain context bounds BOTH halves: a hung store write counts
-	// against the same DrainTimeout as the connection drain.
+	// drain shuts the server down, writes every tenant's final checkpoint,
+	// and folds any earlier checkpoint error in — shared by the ctx-cancel
+	// path and the listener-failure path, so mined state is never lost to
+	// either. The drain context bounds BOTH halves: a hung store write
+	// counts against the same DrainTimeout as the connection drain.
 	var ckptErr error
 	drain := func(cause error) error {
 		dctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
 		defer cancel()
 		err := srv.Shutdown(dctx)
-		if backend.repl != nil {
-			// Flush the replication stream before the final checkpoint so a
-			// clean shutdown leaves every follower holding everything the
-			// primary acked.
-			backend.repl.Close()
-		}
-		if m.store != nil {
-			if serr := m.Save(dctx); serr != nil && err == nil {
-				err = serr
-			}
+		// Flush every replication stream before the final checkpoints so a
+		// clean shutdown leaves every follower holding everything the
+		// primary acked.
+		reg.closeReplicators()
+		if serr := reg.drainAll(dctx); serr != nil && err == nil {
+			err = serr
 		}
 		if cause != nil {
 			return cause
@@ -362,10 +442,12 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 	for {
 		select {
 		case <-tick:
-			err := backend.Save()
+			err := reg.checkpointAll()
 			if err != nil && ckptErr == nil {
 				ckptErr = err
 			}
+		case <-evict:
+			reg.evictIdle()
 		case err := <-serveErr:
 			// Listener failure without a shutdown: drain the open
 			// connections and checkpoint anyway, then surface the cause.
