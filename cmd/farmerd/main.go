@@ -89,6 +89,7 @@ func run() int {
 	load := fs.Bool("load", false, "restore persisted state from -store at startup")
 	repair := fs.Bool("repair", false, "truncate a corrupt -store log at its last intact record before opening")
 	shards := fs.Int("shards", 0, "miner shards (0/1 = paper-exact single-lock path)")
+	readStripes := fs.Int("read-stripes", 0, "striped Correlator-List read snapshot with this many lock stripes (0 = off)")
 	partName := fs.String("partition", "stripe", "shard partitioner: stripe, hash or group")
 	checkpoint := fs.Duration("checkpoint", 0, "periodic checkpoint interval (0 = only on shutdown; needs -store)")
 	prefetchK := fs.Int("prefetch-k", 0, "attach the async prefetch pipeline with this prefetch degree (0 = off)")
@@ -126,6 +127,7 @@ func run() int {
 		Load:        *load,
 		Repair:      *repair,
 		Shards:      *shards,
+		ReadStripes: *readStripes,
 		Partition:   *partName,
 		Ckpt:        *checkpoint,
 		PrefetchK:   *prefetchK,

@@ -45,11 +45,18 @@ import (
 type RemoteMiner struct {
 	addrs []string
 	opts  rpc.DialOptions // tenant binding, token, TLS — re-applied on every redial
+	ackN  int             // WithAckWindow: in-flight feed frames (<= 1 = synchronous)
 
 	mu     sync.Mutex
 	c      *rpc.Client // current connection, nil after a drop
 	cur    int         // index into addrs of the current connection
 	closed bool
+
+	// The windowed-feed state (WithAckWindow): one ack window per
+	// connection, recreated whenever the connection changes so a stale
+	// window can never resolve acks against a replaced client.
+	win  *rpc.AckWindow
+	winC *rpc.Client // the connection win was created on
 }
 
 var _ Miner = (*RemoteMiner)(nil)
@@ -58,8 +65,9 @@ var _ Miner = (*RemoteMiner)(nil)
 type DialOption func(*dialConfig) error
 
 type dialConfig struct {
-	failover []string
-	opts     rpc.DialOptions
+	failover  []string
+	opts      rpc.DialOptions
+	ackWindow int
 }
 
 // WithTenant binds the client to one tenant: every frame it sends carries
@@ -106,6 +114,33 @@ func WithDialTLS(cfg *tls.Config) DialOption {
 	}
 }
 
+// WithAckWindow(n), for n >= 2, puts the client's Feed and FeedBatch into
+// windowed-ack mode: up to n frames stay in flight on the pipelined
+// connection and their acks are resolved asynchronously, so a streaming
+// feeder pays pipeline throughput instead of one round trip per acked call
+// (the replication stream's ack-window machinery, applied client-side).
+// n <= 1 keeps the default synchronous acked path.
+//
+// The acked-feed contract is preserved at a coarser barrier: a nil Feed
+// means the record was handed to the window, and Flush is the barrier that
+// makes every handed-over record mean what a synchronous ack means (on a
+// replicated deployment: mined AND held by every live follower). On any
+// failure the window poisons — the first failed ack is sticky, later Feeds
+// fail fast without sending, and nothing is silently re-sent. The caller
+// recovers exactly as from a synchronous in-doubt write: Flush (or the
+// failed Feed) surfaces the first error, Stats().Fed on the recovered
+// server is the exact resume point, and the stream is re-sent from there.
+// Call Flush before Close to observe the final acks.
+func WithAckWindow(n int) DialOption {
+	return func(dc *dialConfig) error {
+		if n < 0 {
+			return fmt.Errorf("farmer: WithAckWindow(%d): negative window", n)
+		}
+		dc.ackWindow = n
+		return nil
+	}
+}
+
 // Dial connects to a farmerd at addr (or, when it is unreachable, the
 // first reachable WithFailover address) and returns the remote miner. ctx
 // bounds the connection attempts only; per-call deadlines come from the
@@ -123,7 +158,7 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*RemoteMiner, e
 			return nil, err
 		}
 	}
-	m := &RemoteMiner{addrs: dc.failover, opts: dc.opts}
+	m := &RemoteMiner{addrs: dc.failover, opts: dc.opts, ackN: dc.ackWindow}
 	var firstErr error
 	for i := range m.addrs {
 		c, err := rpc.DialWith(ctx, m.addrs[i], m.opts)
@@ -153,6 +188,10 @@ func failoverable(err error) bool {
 func (m *RemoteMiner) conn(ctx context.Context) (*rpc.Client, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.connLocked(ctx)
+}
+
+func (m *RemoteMiner) connLocked(ctx context.Context) (*rpc.Client, error) {
 	if m.closed {
 		return nil, rpc.ErrClientClosed
 	}
@@ -179,9 +218,15 @@ func (m *RemoteMiner) conn(ctx context.Context) (*rpc.Client, error) {
 // seekWritable finds a server that takes writes after one refused: the
 // current connection is asked to promote (it succeeds exactly when its
 // primary is gone — otherwise the split-brain guard refuses), then each
-// other address is dialed and asked the same. On success the writable
-// connection becomes current; on failure the current (read-capable)
-// connection is kept.
+// other address — including the current one when its connection is down —
+// is dialed and asked the same. On success the writable connection becomes
+// current; on failure the current (read-capable) connection is kept.
+//
+// It never reports success without a successful Promote. An earlier
+// version did: with the current connection down it skipped the current
+// address entirely and started the sweep at the next one, so a
+// single-address client got a nil "success" with nobody promoted — and do
+// retried the write against a server that had never accepted promotion.
 func (m *RemoteMiner) seekWritable(ctx context.Context) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -189,12 +234,14 @@ func (m *RemoteMiner) seekWritable(ctx context.Context) error {
 		return rpc.ErrClientClosed
 	}
 	var lastErr error
+	start := 0
 	if m.c != nil {
 		if lastErr = m.c.Promote(ctx); lastErr == nil {
 			return nil
 		}
+		start = 1 // the current address already refused on the live connection
 	}
-	for i := 1; i < len(m.addrs); i++ {
+	for i := start; i < len(m.addrs); i++ {
 		idx := (m.cur + i) % len(m.addrs)
 		c, err := rpc.DialWith(ctx, m.addrs[idx], m.opts)
 		if err != nil {
@@ -212,6 +259,11 @@ func (m *RemoteMiner) seekWritable(ctx context.Context) error {
 		m.c, m.cur = c, idx
 		return nil
 	}
+	if lastErr == nil {
+		// Unreachable while Dial demands an address, but the invariant is
+		// the point: no nil without a Promote.
+		lastErr = fmt.Errorf("%w: no server accepted promotion", rpc.ErrNotPrimary)
+	}
 	return lastErr
 }
 
@@ -223,6 +275,111 @@ func (m *RemoteMiner) drop(c *rpc.Client) {
 	}
 	m.mu.Unlock()
 	c.Close()
+}
+
+// ackWindow returns the current connection's ack window, connecting first
+// if the last connection died. The window is recreated whenever the
+// connection changed underneath it.
+func (m *RemoteMiner) ackWindow(ctx context.Context) (*rpc.AckWindow, *rpc.Client, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, err := m.connLocked(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.win == nil || m.winC != c {
+		m.win = c.NewAckWindow(m.ackN)
+		m.winC = c
+	}
+	return m.win, c, nil
+}
+
+// windowed runs one windowed-feed operation and, on failure, settles the
+// window: the remaining in-flight acks are drained, the poisoned window is
+// discarded, a dead connection is dropped (the next call reconnects), and
+// — because ErrNotPrimary means the refused frames were definitely NOT
+// applied — a promotion sweep runs before the error surfaces, so the
+// caller's resume-from-Stats().Fed replay lands on a writable server. The
+// error itself always surfaces: frames acked before the failure may have
+// been applied, so the stream is in doubt and nothing is re-sent here.
+func (m *RemoteMiner) windowed(ctx context.Context, fn func(w *rpc.AckWindow) error) error {
+	w, c, err := m.ackWindow(ctx)
+	if err != nil {
+		return err
+	}
+	if err := fn(w); err == nil {
+		return nil
+	}
+	return m.settleWindow(ctx, w, c)
+}
+
+// settleWindow drains a failed window and runs the recovery described on
+// windowed. It returns the window's first failure.
+func (m *RemoteMiner) settleWindow(ctx context.Context, w *rpc.AckWindow, c *rpc.Client) error {
+	err := w.Flush(ctx)
+	m.forgetWindow(w)
+	if err == nil {
+		// The operation failed but the drain saw only clean acks — a ctx
+		// expiry inside the operation, typically. The stream is still in
+		// doubt (the expired wait abandoned its ack), so report it.
+		if err = ctx.Err(); err == nil {
+			err = rpc.ErrDisconnected
+		}
+		return err
+	}
+	m.recoverAfterWindow(ctx, c, err)
+	return err
+}
+
+// forgetWindow discards a poisoned window (if still current); the next
+// windowed call builds a fresh one on whatever connection is current then.
+func (m *RemoteMiner) forgetWindow(w *rpc.AckWindow) {
+	m.mu.Lock()
+	if m.win == w {
+		m.win, m.winC = nil, nil
+	}
+	m.mu.Unlock()
+}
+
+// recoverAfterWindow repositions the client after a windowed failure: a
+// dead connection is dropped (the next call reconnects), and ErrNotPrimary
+// triggers a best-effort promotion sweep — the refused frames were
+// definitely not applied, and a successful sweep means the caller's
+// resume-from-Stats().Fed replay lands on a writable server. The original
+// error still surfaces either way.
+func (m *RemoteMiner) recoverAfterWindow(ctx context.Context, c *rpc.Client, err error) {
+	if errors.Is(err, rpc.ErrDisconnected) {
+		m.drop(c)
+	}
+	if errors.Is(err, rpc.ErrNotPrimary) {
+		_ = m.seekWritable(ctx)
+	}
+}
+
+// Flush is the windowed-ack barrier (WithAckWindow): it blocks until every
+// in-flight feed frame is acked and returns the window's first failure,
+// after which the caller resumes from Stats().Fed. On a miner without a
+// window — or with nothing in flight — it returns nil immediately. Call it
+// before Close to observe the final acks, and at every point where "fed"
+// must mean "acked" (a checkpoint cut, a journal truncation).
+func (m *RemoteMiner) Flush(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return rpc.ErrClientClosed
+	}
+	w, c := m.win, m.winC
+	m.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	err := w.Flush(ctx)
+	if err == nil {
+		return nil
+	}
+	m.forgetWindow(w)
+	m.recoverAfterWindow(ctx, c, err)
+	return err
 }
 
 // do runs one call with reconnect-and-failover: at most one attempt per
@@ -285,14 +442,25 @@ func (m *RemoteMiner) Ping(ctx context.Context) (time.Duration, error) {
 // Feed implements Miner: one record, one acked round trip. On a replicated
 // deployment the ack additionally means every live follower holds the
 // record (see Serve), so an acked Feed survives the primary.
+//
+// Dialed WithAckWindow(n >= 2), Feed instead hands the record to the ack
+// window — up to n frames stay in flight and a nil return means "accepted
+// into the window"; Flush is the barrier that makes it mean "acked".
 func (m *RemoteMiner) Feed(ctx context.Context, r *Record) error {
+	if m.ackN > 1 {
+		return m.windowed(ctx, func(w *rpc.AckWindow) error { return w.Feed(ctx, r) })
+	}
 	return m.do(ctx, false, func(c *rpc.Client) error { return c.Feed(ctx, r) })
 }
 
 // FeedBatch implements Miner: the whole batch travels as one frame (split
 // only above the frame bound) and the server mines it with all shards in
-// parallel before acking.
+// parallel before acking. Dialed WithAckWindow(n >= 2), the batch's frames
+// ride the ack window like Feed's (see Flush).
 func (m *RemoteMiner) FeedBatch(ctx context.Context, records []Record) error {
+	if m.ackN > 1 {
+		return m.windowed(ctx, func(w *rpc.AckWindow) error { return w.FeedBatch(ctx, records) })
+	}
 	return m.do(ctx, false, func(c *rpc.Client) error { return c.FeedBatch(ctx, records) })
 }
 
@@ -406,6 +574,7 @@ func (m *RemoteMiner) Close() error {
 	m.closed = true
 	c := m.c
 	m.c = nil
+	m.win, m.winC = nil, nil
 	m.mu.Unlock()
 	if c == nil {
 		return nil

@@ -87,6 +87,61 @@ func ExampleDial() {
 	// Output: after file 2, prefetch: [3]
 }
 
+// ExampleDial_ackWindow streams records one call at a time but keeps a
+// window of acks in flight, closing most of the acked-vs-batched throughput
+// gap. A nil Feed means submitted; the Flush barrier is what makes every
+// prior record acked and mined — after a failed Flush, resume from
+// Stats().Fed exactly as with the sequential client.
+func ExampleDial_ackWindow() {
+	server, err := farmer.Open(farmer.DefaultConfig(), farmer.WithShards(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- farmer.Serve(ctx, lis, server, farmer.ServeConfig{}) }()
+
+	miner, err := farmer.Dial(context.Background(), lis.Addr().String(),
+		farmer.WithAckWindow(32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := sequence(1, 2, 3)
+	for i := range recs {
+		// Sends immediately; blocks only when 32 acks are outstanding.
+		if err := miner.Feed(context.Background(), &recs[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := miner.Flush(context.Background()); err != nil {
+		log.Fatal(err) // some submitted records are in doubt: resume from Stats().Fed
+	}
+	st, err := miner.Stats(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	next, err := miner.Predict(context.Background(), 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("acked after Flush:", st.Fed)
+	fmt.Println("after file 1, prefetch:", next)
+
+	miner.Close()
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	server.Close()
+	// Output:
+	// acked after Flush: 36
+	// after file 1, prefetch: [2 3]
+}
+
 // ExampleDial_failover runs a replicated pair — a primary streaming every
 // acked record to a follower — and a multi-address client that survives the
 // primary's death: the next write fails over to the follower, which

@@ -1,5 +1,7 @@
 package farmer
 
+import "context"
+
 // Test seams for the farmer package's external (farmer_test) tests.
 
 // SetSaveToStore replaces the checkpoint body behind LocalMiner.Save and
@@ -9,4 +11,20 @@ func SetSaveToStore(fn func(sm *ShardedModel, st *Store) error) (restore func())
 	old := saveToStore
 	saveToStore = fn
 	return func() { saveToStore = old }
+}
+
+// SeekWritable exposes the failover promotion sweep for the regression
+// tests around its never-nil-without-a-Promote invariant.
+func (m *RemoteMiner) SeekWritable(ctx context.Context) error { return m.seekWritable(ctx) }
+
+// DropConn discards the current connection without closing the miner — the
+// tests' stand-in for a transport that died underneath the client.
+func (m *RemoteMiner) DropConn() {
+	m.mu.Lock()
+	c := m.c
+	m.c, m.win, m.winC = nil, nil, nil
+	m.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
 }

@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"sync"
+
+	"farmer/internal/trace"
+)
+
+// Cache is the surface the single-lock LRU and the StripedLRU share, so the
+// MDS demand path can run either: the paper-exact single-threaded simulator
+// keeps the lock-free LRU, a concurrent deployment selects striping.
+type Cache interface {
+	Access(f trace.FileID) bool
+	Prefetch(f trace.FileID) bool
+	Contains(f trace.FileID) bool
+	Invalidate(f trace.FileID) bool
+	Len() int
+	Capacity() int
+	Metrics() Metrics
+	Finish() Metrics
+}
+
+var (
+	_ Cache = (*LRU)(nil)
+	_ Cache = (*StripedLRU)(nil)
+)
+
+// stripe is one lock's worth of the striped cache. The padding rounds each
+// stripe out to a multiple of the cache line, so the slice lays adjacent
+// stripes' mutexes on distinct lines: without it eight stripes' locks pack
+// into 64 bytes and every Access ping-pongs the line between cores —
+// exactly the false sharing striping exists to remove.
+type stripe struct {
+	mu  sync.Mutex
+	lru *LRU
+	_   [64 - 16]byte // sizeof(Mutex)=8 + sizeof(ptr)=8, padded to one line
+}
+
+// StripedLRU is the concurrent counterpart of LRU: the key space is split
+// across power-of-two stripes by the same Fibonacci FileID hash the
+// partition layer stripes shards with, and each stripe is an independent
+// single-lock LRU holding its share of the capacity. Stripes never touch
+// each other's state, so readers and writers contend only within a stripe.
+//
+// Metrics totals are summed over stripes. On a workload where no stripe
+// evicts, every counter matches the single-lock LRU fed the same sequence
+// exactly (each key's hits, insertions and invalidations land identically —
+// only eviction ORDER is local to a stripe rather than global, and with no
+// evictions there is no order to differ on).
+type StripedLRU struct {
+	stripes []stripe
+	mask    uint64
+	cap     int
+}
+
+// NewStripedLRU creates a striped cache holding up to capacity entries
+// across the given number of stripes; stripes is rounded up to a power of
+// two (minimum 1) and capacity must be at least the stripe count, so every
+// stripe holds at least one entry.
+func NewStripedLRU(capacity, stripes int) *StripedLRU {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	if capacity < n {
+		panic("cache: capacity below stripe count")
+	}
+	c := &StripedLRU{stripes: make([]stripe, n), mask: uint64(n - 1), cap: capacity}
+	per := (capacity + n - 1) / n
+	for i := range c.stripes {
+		c.stripes[i].lru = NewLRU(per)
+	}
+	return c
+}
+
+// stripeFor hashes f to its stripe: Fibonacci hashing on the upper
+// half-word (the partition layer's stripe function), cheap enough for the
+// demand path and spreading contiguously allocated file ids evenly.
+func (c *StripedLRU) stripeFor(f trace.FileID) *stripe {
+	return &c.stripes[(uint64(f)*0x9E3779B97F4A7C15>>32)&c.mask]
+}
+
+// Stripes reports the stripe count.
+func (c *StripedLRU) Stripes() int { return len(c.stripes) }
+
+// Capacity returns the configured total capacity.
+func (c *StripedLRU) Capacity() int { return c.cap }
+
+// Len returns the resident entry count, summed over stripes.
+func (c *StripedLRU) Len() int {
+	var n int
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Access performs a demand lookup (see LRU.Access) on f's stripe.
+func (c *StripedLRU) Access(f trace.FileID) bool {
+	s := c.stripeFor(f)
+	s.mu.Lock()
+	hit := s.lru.Access(f)
+	s.mu.Unlock()
+	return hit
+}
+
+// Prefetch inserts f as a prefetched entry (see LRU.Prefetch).
+func (c *StripedLRU) Prefetch(f trace.FileID) bool {
+	s := c.stripeFor(f)
+	s.mu.Lock()
+	ins := s.lru.Prefetch(f)
+	s.mu.Unlock()
+	return ins
+}
+
+// Contains reports residency without touching recency or metrics.
+func (c *StripedLRU) Contains(f trace.FileID) bool {
+	s := c.stripeFor(f)
+	s.mu.Lock()
+	ok := s.lru.Contains(f)
+	s.mu.Unlock()
+	return ok
+}
+
+// Invalidate drops an entry (see LRU.Invalidate).
+func (c *StripedLRU) Invalidate(f trace.FileID) bool {
+	s := c.stripeFor(f)
+	s.mu.Lock()
+	ok := s.lru.Invalidate(f)
+	s.mu.Unlock()
+	return ok
+}
+
+// Metrics sums the running per-stripe metrics.
+func (c *StripedLRU) Metrics() Metrics {
+	var out Metrics
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		out.add(s.lru.Metrics())
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Finish folds each stripe's residual prefetch waste and returns the summed
+// metrics (see LRU.Finish). The cache remains usable.
+func (c *StripedLRU) Finish() Metrics {
+	var out Metrics
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		out.add(s.lru.Finish())
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// add accumulates another snapshot into m.
+func (m *Metrics) add(o Metrics) {
+	m.Lookups += o.Lookups
+	m.Hits += o.Hits
+	m.PrefetchHits += o.PrefetchHits
+	m.Prefetched += o.Prefetched
+	m.PrefetchUsed += o.PrefetchUsed
+	m.PrefetchWasted += o.PrefetchWasted
+	m.Evictions += o.Evictions
+}

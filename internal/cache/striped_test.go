@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"farmer/internal/trace"
+)
+
+// applySequence drives one access sequence against any Cache: a mix of
+// demand accesses, prefetches and invalidations keyed off the step index.
+func applySequence(c Cache, n int, files int) {
+	for i := 0; i < n; i++ {
+		f := trace.FileID(i % files)
+		switch i % 5 {
+		case 0, 1, 2:
+			c.Access(f)
+		case 3:
+			c.Prefetch(trace.FileID((i * 7) % files))
+		case 4:
+			if i%15 == 4 {
+				c.Invalidate(f)
+			} else {
+				c.Access(trace.FileID((i * 3) % files))
+			}
+		}
+	}
+}
+
+// TestStripedMetricsMatchLRU: on an identical access sequence with capacity
+// covering the working set (no evictions anywhere), every metrics counter of
+// the striped cache equals the single-lock LRU's — striping only relocates
+// entries, it never changes what hits, misses, or prefetch accounting mean.
+func TestStripedMetricsMatchLRU(t *testing.T) {
+	const files = 300
+	for _, stripes := range []int{1, 2, 8, 16} {
+		t.Run(fmt.Sprintf("stripes=%d", stripes), func(t *testing.T) {
+			single := NewLRU(2 * files)
+			striped := NewStripedLRU(2*files*stripes, stripes) // per-stripe cap >= working set
+			applySequence(single, 10_000, files)
+			applySequence(striped, 10_000, files)
+			if got, want := striped.Metrics(), single.Metrics(); got != want {
+				t.Errorf("running metrics diverge:\nstriped %+v\nsingle  %+v", got, want)
+			}
+			if got, want := striped.Finish(), single.Finish(); got != want {
+				t.Errorf("finished metrics diverge:\nstriped %+v\nsingle  %+v", got, want)
+			}
+			if got, want := striped.Len(), single.Len(); got != want {
+				t.Errorf("Len: striped %d, single %d", got, want)
+			}
+		})
+	}
+}
+
+// TestStripedAccountingInvariants: under eviction pressure the global totals
+// still obey the LRU's accounting identities.
+func TestStripedAccountingInvariants(t *testing.T) {
+	c := NewStripedLRU(64, 8)
+	applySequence(c, 20_000, 1000)
+	m := c.Finish()
+	if m.Hits > m.Lookups {
+		t.Errorf("hits %d > lookups %d", m.Hits, m.Lookups)
+	}
+	if m.PrefetchUsed+m.PrefetchWasted != m.Prefetched {
+		t.Errorf("prefetch accounting: used %d + wasted %d != issued %d",
+			m.PrefetchUsed, m.PrefetchWasted, m.Prefetched)
+	}
+	if m.PrefetchHits != m.PrefetchUsed {
+		t.Errorf("prefetch hits %d != used %d (each entry counts once)", m.PrefetchHits, m.PrefetchUsed)
+	}
+	if c.Len() > c.Capacity() {
+		t.Errorf("resident %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+// TestStripedConstruction pins the rounding and panic contracts.
+func TestStripedConstruction(t *testing.T) {
+	if got := NewStripedLRU(100, 5).Stripes(); got != 8 {
+		t.Errorf("stripes rounded to %d, want 8", got)
+	}
+	if got := NewStripedLRU(100, 0).Stripes(); got != 1 {
+		t.Errorf("stripes normalized to %d, want 1", got)
+	}
+	if got := NewStripedLRU(100, 8).Capacity(); got != 100 {
+		t.Errorf("capacity %d, want the configured 100", got)
+	}
+	for _, bad := range []func(){
+		func() { NewStripedLRU(0, 1) },
+		func() { NewStripedLRU(4, 8) }, // capacity below stripe count
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestStripedConcurrent hammers all operations from many goroutines — the
+// -race run is the assertion; the metrics check afterwards only needs to be
+// internally consistent.
+func TestStripedConcurrent(t *testing.T) {
+	c := NewStripedLRU(1024, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				f := trace.FileID((seed*31 + i) % 4096)
+				switch i % 4 {
+				case 0, 1:
+					c.Access(f)
+				case 2:
+					c.Prefetch(f)
+				case 3:
+					c.Invalidate(f)
+				}
+				if i%512 == 0 {
+					_ = c.Metrics()
+					_ = c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	m := c.Finish()
+	if m.PrefetchUsed+m.PrefetchWasted != m.Prefetched {
+		t.Errorf("prefetch accounting diverged under concurrency: %+v", m)
+	}
+}
+
+// BenchmarkCacheAccessParallel compares the single-lock LRU (serialized by
+// an external mutex, as a concurrent deployment would have to) against the
+// striped cache under parallel demand traffic.
+func BenchmarkCacheAccessParallel(b *testing.B) {
+	b.Run("single-lock", func(b *testing.B) {
+		c := NewLRU(1 << 14)
+		var mu sync.Mutex
+		var ctr int64
+		b.RunParallel(func(pb *testing.PB) {
+			i := ctr * 1_000_003
+			ctr++
+			for pb.Next() {
+				i++
+				mu.Lock()
+				c.Access(trace.FileID(i % (1 << 15)))
+				mu.Unlock()
+			}
+		})
+	})
+	b.Run("striped", func(b *testing.B) {
+		c := NewStripedLRU(1<<14, 16)
+		var ctr int64
+		b.RunParallel(func(pb *testing.PB) {
+			i := ctr * 1_000_003
+			ctr++
+			for pb.Next() {
+				i++
+				c.Access(trace.FileID(i % (1 << 15)))
+			}
+		})
+	})
+}

@@ -99,6 +99,12 @@ type Model struct {
 	winSize   int // lookahead window, normalized like the graph's own
 	extractor *vsm.Extractor
 
+	// listHook, when set, is invoked under m.mu after every Correlator-List
+	// mutation (insert, update, drop, checkpoint install) with the owning
+	// predecessor — the invalidation feed a read-side list cache subscribes
+	// to. Set it before the model is shared between goroutines.
+	listHook func(trace.FileID)
+
 	mu      sync.RWMutex
 	g       *graph.Graph
 	vectors map[trace.FileID]vsm.Vector
@@ -110,18 +116,41 @@ type Model struct {
 // New creates a model; it panics on invalid configuration (programmer
 // error), matching the constructor conventions of the stdlib.
 func New(cfg Config) *Model {
+	m := new(Model)
+	m.init(cfg)
+	return m
+}
+
+// init constructs the model in place — the seam that lets ShardedModel
+// allocate its shards as one padded contiguous block instead of pointer-
+// chasing individually boxed Models.
+func (m *Model) init(cfg Config) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	ex := vsm.NewExtractor(cfg.Mask)
 	ex.Alg = cfg.PathAlg
-	return &Model{
-		cfg:       cfg,
-		winSize:   cfg.Graph.Normalized().Window,
-		extractor: ex,
-		g:         graph.New(cfg.Graph),
-		vectors:   make(map[trace.FileID]vsm.Vector),
-		lists:     make(map[trace.FileID][]Correlator),
+	m.cfg = cfg
+	m.winSize = cfg.Graph.Normalized().Window
+	m.extractor = ex
+	m.g = graph.New(cfg.Graph)
+	m.vectors = make(map[trace.FileID]vsm.Vector)
+	m.lists = make(map[trace.FileID][]Correlator)
+}
+
+// SetListChangeHook registers fn to run (under the model lock) whenever a
+// file's Correlator List changes. At most one hook; nil unregisters. Must be
+// called before the model is fed from multiple goroutines.
+func (m *Model) SetListChangeHook(fn func(trace.FileID)) {
+	m.mu.Lock()
+	m.listHook = fn
+	m.mu.Unlock()
+}
+
+// notifyListChange invokes the registered hook, if any. Callers hold m.mu.
+func (m *Model) notifyListChange(f trace.FileID) {
+	if m.listHook != nil {
+		m.listHook(f)
 	}
 }
 
@@ -197,6 +226,7 @@ func (m *Model) evaluateVec(pred, succ trace.FileID, vs vsm.Vector, okS bool) {
 			} else {
 				m.lists[pred] = list
 			}
+			m.notifyListChange(pred)
 		}
 		return
 	}
@@ -216,6 +246,7 @@ func (m *Model) evaluateVec(pred, succ trace.FileID, vs vsm.Vector, okS bool) {
 		list = list[:m.cfg.MaxCorrelators]
 	}
 	m.lists[pred] = list
+	m.notifyListChange(pred)
 }
 
 // FeedTrace feeds every record of a trace in order.

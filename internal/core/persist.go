@@ -302,6 +302,7 @@ func (m *Model) LoadFrom(s *kvstore.Store) error {
 	m.fed = fed
 	for f, list := range lists {
 		m.lists[f] = list
+		m.notifyListChange(f)
 	}
 	for f, vec := range vecs {
 		m.vectors[f] = vec
@@ -498,6 +499,7 @@ func (s *ShardedModel) LoadMerged(st *kvstore.Store) error {
 		m.mu.Lock()
 		for f, list := range lists[i] {
 			m.lists[f] = list
+			m.notifyListChange(f)
 		}
 		for f, vec := range vecs[i] {
 			m.vectors[f] = vec

@@ -26,11 +26,22 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"farmer/internal/partition"
 	"farmer/internal/trace"
 	"farmer/internal/vsm"
 )
+
+// paddedModel rounds a Model up to a whole number of cache lines so the
+// ensemble can allocate its shards as one contiguous block without adjacent
+// shards sharing a line: shard i's mutex and hot counters would otherwise sit
+// on the same 64 bytes as shard i+1's, and every uncontended lock acquisition
+// would ping the line between the cores mining neighboring shards.
+type paddedModel struct {
+	Model
+	_ [(64 - unsafe.Sizeof(Model{})%64) % 64]byte
+}
 
 // ApplyEvents replays ordered partition events against this model under its
 // lock — the Owner side of the partition layer. Access events install the
@@ -105,8 +116,14 @@ func NewShardedPartitioned(cfg Config, owners int, part partition.Partitioner) *
 	// (NewSharded normalizes 0 to 1; here the explicit owner count wins).
 	cfg.Shards = owners
 	s := &ShardedModel{cfg: cfg, part: part}
+	// One contiguous, line-aligned slot per shard (see paddedModel): the
+	// slice keeps the Models adjacent for locality while the padding keeps
+	// their locks off each other's cache lines.
+	slots := make([]paddedModel, owners)
+	s.shards = make([]*Model, owners)
 	for i := 0; i < owners; i++ {
-		s.shards = append(s.shards, New(shardCfg))
+		slots[i].init(shardCfg)
+		s.shards[i] = &slots[i].Model
 	}
 	s.disp = partition.NewDispatcher(partition.Config{
 		Owners:      owners,

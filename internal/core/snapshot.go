@@ -1,0 +1,137 @@
+// Read-path striping: a materialized Correlator-List snapshot in front of
+// the sharded miner, so the demand path (Predict on every cache miss,
+// CorrelatorList on every remote read) stops contending with mining on the
+// shard locks. The snapshot is a striped read-through cache invalidated by
+// the model's own list-change hook — readers hit a stripe's RWMutex that
+// writers only touch to invalidate, instead of the shard mutex every Feed
+// holds for the whole four-stage pipeline.
+package core
+
+import (
+	"sync"
+
+	"farmer/internal/trace"
+)
+
+// listStripe is one lock's worth of the snapshot, padded to cache-line
+// multiples so adjacent stripes' locks don't false-share (same rationale as
+// the shard slots — see paddedModel).
+type listStripe struct {
+	mu      sync.RWMutex
+	version uint64 // bumped on every invalidation in this stripe
+	lists   map[trace.FileID][]Correlator
+	_       [64 - 40]byte // RWMutex(24) + uint64(8) + map(8) = 40
+}
+
+// ListCache is a striped read-through snapshot of the ensemble's Correlator
+// Lists. Entries are filled from the owning shard on demand and dropped the
+// moment mining (or a checkpoint load) changes the underlying list, so a
+// read sees either the current list or goes to the shard — never a stale
+// entry. Cached slices are immutable; methods hand out copies.
+//
+// Fills are version-guarded: a reader records its stripe's version before
+// fetching from the shard and installs the result only if no invalidation
+// landed in between, so a fetch that raced a mutation can never resurrect
+// pre-mutation data after the invalidation already dropped it.
+type ListCache struct {
+	sm   *ShardedModel
+	mask uint64
+	st   []listStripe
+
+	hits, misses padCounter
+}
+
+// NewListCache builds a snapshot over the ensemble and subscribes it to
+// every shard's list-change hook. stripes is rounded up to a power of two
+// (minimum 1). Register before the ensemble is shared between goroutines —
+// the hook seam is per shard and unsynchronized at registration.
+func NewListCache(sm *ShardedModel, stripes int) *ListCache {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	c := &ListCache{sm: sm, mask: uint64(n - 1), st: make([]listStripe, n)}
+	for i := range c.st {
+		c.st[i].lists = make(map[trace.FileID][]Correlator)
+	}
+	for _, m := range sm.shards {
+		m.SetListChangeHook(c.invalidate)
+	}
+	return c
+}
+
+// stripeFor hashes f to its stripe (Fibonacci hashing, like partition.Stripe
+// and the striped LRU).
+func (c *ListCache) stripeFor(f trace.FileID) *listStripe {
+	return &c.st[(uint64(f)*0x9E3779B97F4A7C15>>32)&c.mask]
+}
+
+// invalidate drops f's entry and bumps the stripe version. It runs under the
+// owning shard's model lock (the hook contract); the stripe lock is a leaf,
+// so the ordering model-lock → stripe-lock never inverts.
+func (c *ListCache) invalidate(f trace.FileID) {
+	s := c.stripeFor(f)
+	s.mu.Lock()
+	delete(s.lists, f)
+	s.version++
+	s.mu.Unlock()
+}
+
+// lookup returns the cached immutable list for f, filling it from the owning
+// shard on a miss. The returned slice must not be mutated.
+func (c *ListCache) lookup(f trace.FileID) []Correlator {
+	s := c.stripeFor(f)
+	s.mu.RLock()
+	list, ok := s.lists[f]
+	ver := s.version
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return list
+	}
+	c.misses.Add(1)
+	list = c.sm.CorrelatorList(f) // fresh copy from the shard; never mutated again
+	s.mu.Lock()
+	if s.version == ver {
+		s.lists[f] = list
+	}
+	s.mu.Unlock()
+	return list
+}
+
+// CorrelatorList returns a copy of the file's sorted Correlator List (nil
+// when the file has no valid correlations) — same contract as
+// ShardedModel.CorrelatorList, served from the snapshot.
+func (c *ListCache) CorrelatorList(f trace.FileID) []Correlator {
+	list := c.lookup(f)
+	if len(list) == 0 {
+		return nil
+	}
+	return append([]Correlator(nil), list...)
+}
+
+// Predict returns up to k successors of f in decreasing correlation degree,
+// served from the snapshot — same contract as ShardedModel.Predict.
+func (c *ListCache) Predict(f trace.FileID, k int) []trace.FileID {
+	list := c.lookup(f)
+	if k > len(list) {
+		k = len(list)
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]trace.FileID, k)
+	for i := 0; i < k; i++ {
+		out[i] = list[i].File
+	}
+	return out
+}
+
+// Stripes reports the stripe count.
+func (c *ListCache) Stripes() int { return len(c.st) }
+
+// Stats reports snapshot effectiveness: reads served from the snapshot vs
+// fills from the shards.
+func (c *ListCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

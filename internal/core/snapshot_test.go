@@ -1,0 +1,170 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"farmer/internal/trace"
+	"farmer/internal/tracegen"
+)
+
+func genTrace(t testing.TB, n int) *trace.Trace {
+	t.Helper()
+	tr, err := tracegen.HP(n).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestListCacheNeverStale: after every single ingested record, the snapshot
+// answers exactly what the shards answer — the list-change hook invalidates
+// each touched entry before the feed's lock is released, so a cached read
+// can never observe a pre-mutation list.
+func TestListCacheNeverStale(t *testing.T) {
+	tr := genTrace(t, 3000)
+	sm := NewSharded(func() Config { c := DefaultConfig(); c.Shards = 4; return c }())
+	lc := NewListCache(sm, 8)
+
+	probe := make(map[trace.FileID]struct{})
+	for i := range tr.Records {
+		sm.Feed(&tr.Records[i])
+		probe[tr.Records[i].File] = struct{}{}
+		if i%100 != 0 {
+			continue
+		}
+		for f := range probe {
+			// Read twice: once potentially filling, once served from the
+			// snapshot — both must match the shard's truth.
+			for pass := 0; pass < 2; pass++ {
+				if got, want := lc.CorrelatorList(f), sm.CorrelatorList(f); !reflect.DeepEqual(got, want) {
+					t.Fatalf("record %d file %d pass %d: snapshot %v != shard %v", i, f, pass, got, want)
+				}
+			}
+			if got, want := lc.Predict(f, 4), sm.Predict(f, 4); !reflect.DeepEqual(got, want) {
+				t.Fatalf("record %d file %d: snapshot predict %v != shard %v", i, f, got, want)
+			}
+		}
+	}
+	if hits, misses := lc.Stats(); hits == 0 || misses == 0 {
+		t.Errorf("degenerate snapshot traffic: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestListCacheCopiesAreIndependent: mutating a returned list must not
+// corrupt the snapshot's cached entry.
+func TestListCacheCopiesAreIndependent(t *testing.T) {
+	tr := genTrace(t, 2000)
+	sm := NewSharded(DefaultConfig())
+	lc := NewListCache(sm, 4)
+	sm.FeedBatch(tr.Records)
+
+	var f trace.FileID
+	found := false
+	for i := range tr.Records {
+		if len(sm.CorrelatorList(tr.Records[i].File)) > 0 {
+			f, found = tr.Records[i].File, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("trace mined no correlations")
+	}
+	got := lc.CorrelatorList(f)
+	got[0].File = 0xDEAD
+	got[0].Degree = -1
+	if again := lc.CorrelatorList(f); !reflect.DeepEqual(again, sm.CorrelatorList(f)) {
+		t.Fatalf("caller mutation leaked into the snapshot: %v", again)
+	}
+}
+
+// TestListCacheConcurrentReaders drives snapshot readers against live
+// ingestion under -race and cross-checks the final answers.
+func TestListCacheConcurrentReaders(t *testing.T) {
+	tr := genTrace(t, 20_000)
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	sm := NewSharded(cfg)
+	lc := NewListCache(sm, 16)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				f := tr.Records[(seed*7919+i)%len(tr.Records)].File
+				_ = lc.CorrelatorList(f)
+				_ = lc.Predict(f, 4)
+			}
+		}(g)
+	}
+	for lo := 0; lo < len(tr.Records); lo += 1000 {
+		hi := lo + 1000
+		if hi > len(tr.Records) {
+			hi = len(tr.Records)
+		}
+		sm.FeedBatch(tr.Records[lo:hi])
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	ref := New(cfg)
+	ref.FeedTrace(tr)
+	for i := 0; i < len(tr.Records); i += 97 {
+		f := tr.Records[i].File
+		if got, want := lc.CorrelatorList(f), ref.CorrelatorList(f); !reflect.DeepEqual(got, want) {
+			t.Fatalf("file %d: post-ingest snapshot %v != sequential reference %v", f, got, want)
+		}
+	}
+}
+
+// BenchmarkPredictParallel measures parallel Predict throughput straight off
+// the shard locks vs through the striped snapshot, with one writer goroutine
+// keeping the shard locks hot — the contention the snapshot removes.
+func BenchmarkPredictParallel(b *testing.B) {
+	tr := genTrace(b, 30_000)
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	run := func(b *testing.B, predict func(trace.FileID, int) []trace.FileID, sm *ShardedModel) {
+		sm.FeedBatch(tr.Records)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // steady mining load on the shard locks
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					sm.Feed(&tr.Records[i%len(tr.Records)])
+				}
+			}
+		}()
+		var ctr int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(atomic.AddInt64(&ctr, 1)) * 7919
+			for pb.Next() {
+				i++
+				predict(tr.Records[i%len(tr.Records)].File, 4)
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	}
+	b.Run("shards", func(b *testing.B) {
+		sm := NewSharded(cfg)
+		run(b, sm.Predict, sm)
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		sm := NewSharded(cfg)
+		lc := NewListCache(sm, 16)
+		run(b, lc.Predict, sm)
+	})
+}

@@ -26,17 +26,18 @@ var ErrUsage = errors.New("usage error")
 // Options parameterises one serving daemon. Zero values mean the feature is
 // off; Weight/Strength zero means the paper default.
 type Options struct {
-	Addr      string        // TCP listen address (required)
-	StorePath string        // WAL path; "" = volatile miner
-	Load      bool          // restore persisted state at startup (needs StorePath)
-	Repair    bool          // truncate a corrupt WAL before opening (needs StorePath)
-	Shards    int           // miner stripes (0/1 = single-lock)
-	Partition string        // "stripe", "hash" or "group" ("" = stripe)
-	Ckpt      time.Duration // periodic checkpoint interval (needs StorePath)
-	PrefetchK int           // attach the async prefetch pipeline (0 = off)
-	Weight    *float64      // correlation weight p (nil = paper default)
-	Strength  *float64      // max_strength threshold (nil = paper default)
-	Drain     time.Duration // graceful shutdown bound (0 = Serve default)
+	Addr        string        // TCP listen address (required)
+	StorePath   string        // WAL path; "" = volatile miner
+	Load        bool          // restore persisted state at startup (needs StorePath)
+	Repair      bool          // truncate a corrupt WAL before opening (needs StorePath)
+	Shards      int           // miner stripes (0/1 = single-lock)
+	ReadStripes int           // striped read-path snapshot stripes (0 = off)
+	Partition   string        // "stripe", "hash" or "group" ("" = stripe)
+	Ckpt        time.Duration // periodic checkpoint interval (needs StorePath)
+	PrefetchK   int           // attach the async prefetch pipeline (0 = off)
+	Weight      *float64      // correlation weight p (nil = paper default)
+	Strength    *float64      // max_strength threshold (nil = paper default)
+	Drain       time.Duration // graceful shutdown bound (0 = Serve default)
 	// ReplicateTo lists follower farmerd addresses this daemon replicates
 	// to (it serves as the replication primary). Follow starts the daemon
 	// as a promotable follower instead; the two are mutually exclusive.
@@ -196,6 +197,9 @@ func Run(ctx context.Context, o Options) error {
 	}
 
 	opts := []farmer.Option{farmer.WithShards(o.Shards), farmer.WithPartitioner(part)}
+	if o.ReadStripes > 0 {
+		opts = append(opts, farmer.WithReadStripes(o.ReadStripes))
+	}
 	if o.StorePath != "" {
 		opts = append(opts, farmer.WithStore(o.StorePath))
 		if o.Load {

@@ -58,6 +58,12 @@ type MDSConfig struct {
 	// burst degrades prefetch coverage instead of demand latency.
 	// 0 = unbounded (legacy).
 	PrefetchQueue int
+	// CacheStripes selects the striped concurrent metadata cache
+	// (cache.StripedLRU) with this many lock stripes instead of the
+	// single-lock LRU. 0 keeps the single-lock cache — exact for the
+	// single-threaded DES; striping is for deployments driving one MDS
+	// cache from many goroutines.
+	CacheStripes int
 	// ExternalMiner marks mining as driven from outside the MDS — the
 	// cluster-level global dispatcher. Demand performs only cache/store
 	// service (no predictor Record, no prefetch issue); the external driver
@@ -97,6 +103,10 @@ func (c MDSConfig) Validate() error {
 		return fmt.Errorf("hust: negative miner workers")
 	case c.PrefetchQueue < 0:
 		return fmt.Errorf("hust: negative prefetch queue bound")
+	case c.CacheStripes < 0:
+		return fmt.Errorf("hust: negative cache stripes")
+	case c.CacheStripes > c.CacheCapacity:
+		return fmt.Errorf("hust: cache stripes %d exceed capacity %d", c.CacheStripes, c.CacheCapacity)
 	case c.ExternalMiner && !c.AsyncPrefetch:
 		return fmt.Errorf("hust: ExternalMiner requires AsyncPrefetch (the mining station)")
 	}
@@ -109,7 +119,7 @@ type MDS struct {
 	eng   *sim.Engine
 	srv   *sim.Server
 	miner *sim.Server // async mining station (nil in sync mode)
-	cache *cache.LRU
+	cache cache.Cache // single-lock LRU, or StripedLRU with CacheStripes > 0
 	store *kvstore.Store
 	pred  predictors.Predictor
 
@@ -132,11 +142,15 @@ func NewMDS(eng *sim.Engine, cfg MDSConfig, store *kvstore.Store, pred predictor
 			return nil, err
 		}
 	}
+	var mc cache.Cache = cache.NewLRU(cfg.CacheCapacity)
+	if cfg.CacheStripes > 0 {
+		mc = cache.NewStripedLRU(cfg.CacheCapacity, cfg.CacheStripes)
+	}
 	m := &MDS{
 		cfg:   cfg,
 		eng:   eng,
 		srv:   sim.NewServer(eng, cfg.Workers),
-		cache: cache.NewLRU(cfg.CacheCapacity),
+		cache: mc,
 		store: store,
 		pred:  pred,
 	}
@@ -399,7 +413,7 @@ func (m *MDS) Finish() Stats {
 }
 
 // Cache exposes the metadata cache (tests).
-func (m *MDS) Cache() *cache.LRU { return m.cache }
+func (m *MDS) Cache() cache.Cache { return m.cache }
 
 // Predictor exposes the active predictor.
 func (m *MDS) Predictor() predictors.Predictor { return m.pred }

@@ -1,0 +1,167 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"farmer/internal/trace"
+)
+
+// AckWindow is the client-side counterpart of the replication stream's
+// ack-window machinery (see Replicator): a bounded FIFO of in-flight
+// MsgFeed/MsgFeedBatch frames whose acks are resolved asynchronously, so a
+// consistency-sensitive caller streams records at pipeline throughput
+// instead of paying one round trip per acked Feed.
+//
+// The window preserves exactly the acked-feed contract, just at a coarser
+// barrier: every frame is started in order on one FIFO connection, the
+// oldest in-flight ack is reaped whenever the window is full, and Flush
+// blocks until every outstanding ack arrived. The first failed ack is
+// STICKY: later Feeds fail fast without sending (nothing is silently
+// re-sent past a failure), Flush drains what is still in flight and
+// surfaces that first error, and the caller recovers exactly as it would
+// from a failed synchronous Feed — the stream is in doubt from the first
+// unacked frame, so it re-reads the server's Stats().Fed and resumes from
+// there. Flush clears the sticky error once surfaced; the window is then
+// ready for the resumed stream.
+//
+// An AckWindow is safe for concurrent use, but callers interleaving Feeds
+// from several goroutines get no useful ordering guarantee between them —
+// the intended shape is one streaming writer plus any number of readers on
+// the same pipelined Client.
+type AckWindow struct {
+	c *Client
+	n int
+
+	mu      sync.Mutex
+	q       []*pending // in-flight frames, oldest first
+	err     error      // first failed ack, sticky until Flush surfaces it
+	scratch []byte     // reused encode buffer (start copies the body)
+}
+
+// NewAckWindow creates a window keeping up to n frames in flight on this
+// client's connection; n < 1 is normalized to 1 (every Feed reaps the
+// previous frame's ack — still one round trip ahead of the synchronous
+// path).
+func (c *Client) NewAckWindow(n int) *AckWindow {
+	if n < 1 {
+		n = 1
+	}
+	return &AckWindow{c: c, n: n, q: make([]*pending, 0, n)}
+}
+
+// Window reports the configured in-flight bound.
+func (w *AckWindow) Window() int { return w.n }
+
+// InFlight reports how many frames currently await their ack.
+func (w *AckWindow) InFlight() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.q)
+}
+
+// Feed streams one record: the frame is started immediately and its ack is
+// resolved later, by a subsequent Feed once the window is full, or by
+// Flush. The returned error is either this window's sticky first failure
+// (nothing was sent) or a failure to start/reap — in both cases the stream
+// is in doubt and the caller resumes from the server's Stats().Fed after
+// Flush.
+func (w *AckWindow) Feed(ctx context.Context, r *trace.Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.scratch = trace.AppendRecord(w.scratch[:0], r)
+	return w.startLocked(ctx, MsgFeed, w.scratch)
+}
+
+// FeedBatch streams a record batch, split into frames below the batch body
+// bound exactly like Client.FeedBatch; each frame occupies one window slot.
+func (w *AckWindow) FeedBatch(ctx context.Context, recs []trace.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	lo, size := 0, 4
+	for i := range recs {
+		sz := trace.RecordFixedLen + len(recs[i].Path)
+		if size+sz > maxBatchBody && i > lo {
+			w.scratch = appendRecords(w.scratch[:0], recs[lo:i])
+			if err := w.startLocked(ctx, MsgFeedBatch, w.scratch); err != nil {
+				return err
+			}
+			lo, size = i, 4
+		}
+		size += sz
+	}
+	w.scratch = appendRecords(w.scratch[:0], recs[lo:])
+	return w.startLocked(ctx, MsgFeedBatch, w.scratch)
+}
+
+// startLocked reaps the oldest ack while the window is full, then starts
+// one frame. Reaping holds w.mu — a second feeder simply queues behind the
+// wait, which is the same backpressure a full window applies anyway.
+func (w *AckWindow) startLocked(ctx context.Context, typ MsgType, body []byte) error {
+	for len(w.q) >= w.n {
+		if err := w.reapLocked(ctx); err != nil {
+			return err
+		}
+	}
+	p, err := w.c.start(typ, body)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.q = append(w.q, p)
+	return nil
+}
+
+// reapLocked waits for the oldest in-flight ack. Any failure — a refused
+// frame, a dead connection, a ctx expiry that abandons the ack — poisons
+// the window: once one ack is unaccounted for, everything after it is in
+// doubt too.
+func (w *AckWindow) reapLocked(ctx context.Context) error {
+	p := w.q[0]
+	w.q = w.q[1:]
+	if _, err := w.c.wait(ctx, p); err != nil {
+		w.err = fmt.Errorf("rpc: windowed ack: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Flush is the barrier: it blocks until every in-flight frame is acked and
+// returns the window's first failure (the sticky error, or the first reap
+// error the drain itself hits). All remaining acks are collected either
+// way, so no response leaks into a later call's slot, and the sticky error
+// is cleared once returned — after a non-nil Flush the caller resumes from
+// the server's Stats().Fed and the window carries the resumed stream.
+func (w *AckWindow) Flush(ctx context.Context) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.q) > 0 {
+		p := w.q[0]
+		w.q = w.q[1:]
+		if _, err := w.c.wait(ctx, p); err != nil && w.err == nil {
+			w.err = fmt.Errorf("rpc: windowed ack: %w", err)
+		}
+	}
+	err := w.err
+	w.err = nil
+	return err
+}
+
+// Err reports the window's sticky first failure without blocking: nil means
+// every ack reaped so far succeeded (frames still in flight may yet fail —
+// Flush is the barrier that accounts for them all).
+func (w *AckWindow) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

@@ -1,0 +1,69 @@
+package rpc
+
+// Boundary audit for the client's local oversize refusal (Client.start): the
+// largest admissible body is exactly MaxFrame - frameHeaderMin - len(tenant)
+// — the frame's length field counts version, type, id and the tenant length
+// byte plus the tenant id itself, and the server's ReadFrame rejects only
+// lengths STRICTLY above MaxFrame. These tests pin both edges against a live
+// loopback server: the boundary body must round-trip (an off-by-one refusing
+// it would waste a legal frame size; one admitting bound+1 would let the
+// server kill the connection and fail every pipelined call).
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// maxBody is the largest body the v2 frame admits for a tenant id of the
+// given length — kept as an expression so the test recomputes the header
+// arithmetic independently of Client.start's copy of it.
+func maxBody(tenantLen int) int { return MaxFrame - frameHeaderMin - tenantLen }
+
+func testOversizeBoundary(t *testing.T, c *Client, tenantLen int) {
+	t.Helper()
+	ctx := context.Background()
+	buf := make([]byte, maxBody(tenantLen)+1)
+
+	// Exactly at the bound: admitted locally AND accepted by the server
+	// (MsgPing ignores its body, so the ack proves the frame survived
+	// ReadFrame intact).
+	p, err := c.start(MsgPing, buf[:maxBody(tenantLen)])
+	if err != nil {
+		t.Fatalf("boundary body (%d bytes) refused locally: %v", maxBody(tenantLen), err)
+	}
+	if _, err := c.wait(ctx, p); err != nil {
+		t.Fatalf("boundary frame rejected by the live server: %v", err)
+	}
+
+	// One past the bound: refused locally with the typed error, before the
+	// frame can reach the server and take the connection down.
+	if _, err := c.start(MsgPing, buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("bound+1 body: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// The refusal must have been local: the connection still serves.
+	if _, err := c.Ping(ctx); err != nil {
+		t.Fatalf("connection unhealthy after local oversize refusal: %v", err)
+	}
+}
+
+func TestOversizeBoundaryDefaultTenant(t *testing.T) {
+	addr, _, stop := startServer(t, newMinerBackend(1))
+	defer stop()
+	c := dialT(t, addr)
+	defer c.Close()
+	testOversizeBoundary(t, c, 0)
+}
+
+func TestOversizeBoundaryNamedTenant(t *testing.T) {
+	const tenant = "alpha"
+	addr, stop := startResolverServer(t, mapResolver{tenant: newMinerBackend(1)}, ServerOptions{})
+	defer stop()
+	c, err := DialWith(context.Background(), addr, DialOptions{Tenant: tenant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	testOversizeBoundary(t, c, len(tenant))
+}

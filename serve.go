@@ -190,8 +190,14 @@ func (b *serveBackend) FeedBatch(recs []trace.Record) error {
 	})
 }
 
-func (b *serveBackend) Predict(f FileID, k int) []FileID     { return b.m.sm.Predict(f, k) }
-func (b *serveBackend) CorrelatorList(f FileID) []Correlator { return b.m.sm.CorrelatorList(f) }
+// Reads go through the LocalMiner, not the raw ensemble, so a miner opened
+// WithReadStripes serves them from its striped list snapshot instead of
+// contending with mining on the shard locks.
+func (b *serveBackend) Predict(f FileID, k int) []FileID {
+	out, _ := b.m.Predict(context.Background(), f, k)
+	return out
+}
+func (b *serveBackend) CorrelatorList(f FileID) []Correlator { return b.m.CorrelatorList(f) }
 func (b *serveBackend) Stats() core.Stats                    { return b.m.sm.Stats() }
 
 func (b *serveBackend) ApplyEvents(evs []partition.Event) error {
