@@ -10,7 +10,8 @@
 //	        [-shards N] [-partition stripe|hash|group]
 //	        [-checkpoint D] [-prefetch-k K]
 //	        [-weight P] [-strength S]
-//	        [-replicate-to addr,addr...] [-follow] [-replica-token T]
+//	        [-replicate-to addr,addr...] [-follow] [-catchup-tail N]
+//	        [-replica-token T]
 //	        [-tls-cert cert.pem -tls-key key.pem]
 //	        [-auth token=tenant,tenant]... [-tenants-dir DIR]
 //	        [-max-tenants N] [-tenant-idle D]
@@ -28,10 +29,13 @@
 // address must be a farmerd started with -follow, which is bootstrapped
 // with a catch-up checkpoint at startup and then receives every acked
 // record before the client's ack — so no acked record dies with the
-// primary. With -follow, this farmerd is a FOLLOWER: it serves reads,
-// refuses writes until promoted, and accepts promotion (from a failing-over
-// multi-address farmer.Dial client) only after its primary's link is gone.
-// See DESIGN.md "Replication & failover".
+// primary. A follower restarted with -load resumes from its own
+// checkpoint, and the primary catches it up by replaying just the records
+// it missed when its position is within the last -catchup-tail records,
+// shipping a full cut otherwise. With -follow, this farmerd is a FOLLOWER:
+// it serves reads, refuses writes until promoted, and accepts promotion
+// (from a failing-over multi-address farmer.Dial client) only after its
+// primary's link is gone. See DESIGN.md "Replication & failover".
 //
 // With -tenants-dir, the daemon is MULTI-TENANT: frames carrying a tenant
 // id lazily open one miner per tenant, persisted under DIR/<tenant>/, with
@@ -98,6 +102,7 @@ func run() int {
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	replicateTo := fs.String("replicate-to", "", "comma-separated follower addresses to replicate to (serve as primary)")
 	follow := fs.Bool("follow", false, "serve as a replication follower: reads only until promoted")
+	catchupTail := fs.Int("catchup-tail", 0, "records a primary retains for delta catch-up of restarted followers (0 = default 65536, negative = full cuts only)")
 	replicaToken := fs.String("replica-token", "", "bearer token presented to -replicate-to followers running with -auth")
 	tlsCert := fs.String("tls-cert", "", "PEM certificate for serving over TLS (needs -tls-key)")
 	tlsKey := fs.String("tls-key", "", "PEM private key for serving over TLS (needs -tls-cert)")
@@ -136,6 +141,7 @@ func run() int {
 		Drain:       *drain,
 		ReplicateTo: splitAddrs(*replicateTo),
 		Follow:      *follow,
+		CatchupTail: *catchupTail,
 
 		TLSCert:      *tlsCert,
 		TLSKey:       *tlsKey,

@@ -123,10 +123,6 @@ func TestRunUsageErrors(t *testing.T) {
 	if c := run(); c != 2 {
 		t.Fatalf("-follow with -replicate-to: exit %d, want 2", c)
 	}
-	os.Args = []string{"farmerd", "-follow", "-load", "-store", "x.wal"}
-	if c := run(); c != 2 {
-		t.Fatalf("-follow with -load: exit %d, want 2", c)
-	}
 	// An unreachable follower is a runtime failure (exit 1), not usage.
 	os.Args = []string{"farmerd", "-addr", "127.0.0.1:0", "-replicate-to", "127.0.0.1:1"}
 	if c := run(); c != 1 {

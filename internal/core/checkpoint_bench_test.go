@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"farmer/internal/kvstore"
+	"farmer/internal/tracegen"
+	"farmer/internal/vsm"
+)
+
+// Checkpoint cost, full rewrite vs incremental delta, on the same mined
+// ensemble. The custom metrics surface the store-level cost (what actually
+// hits the WAL) next to the wall-clock cost: an incremental checkpoint's
+// puts/op and ckpt-B/op track the dirty set, the full rewrite's track the
+// model.
+
+func benchCheckpointModel(b *testing.B) *ShardedModel {
+	b.Helper()
+	tr := tracegen.HP(20000).MustGenerate()
+	cfg := DefaultConfig()
+	cfg.Mask = vsm.DefaultMask(true)
+	cfg.Shards = 2
+	sm := NewSharded(cfg)
+	sm.FeedBatch(tr.Records)
+	return sm
+}
+
+func BenchmarkCheckpointSaveFull(b *testing.B) {
+	sm := benchCheckpointModel(b)
+	s, err := kvstore.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cost kvstore.WriteStats
+	for i := 0; i < b.N; i++ {
+		pre := s.WriteStats()
+		if err := sm.SaveMerged(s); err != nil {
+			b.Fatal(err)
+		}
+		cost = statsDelta(pre, s.WriteStats())
+	}
+	b.ReportMetric(float64(cost.Bytes), "ckpt-B/op")
+	b.ReportMetric(float64(cost.Puts), "puts/op")
+}
+
+func BenchmarkCheckpointSaveIncremental(b *testing.B) {
+	sm := benchCheckpointModel(b)
+	tr := tracegen.HP(20000).MustGenerate()
+	s, err := kvstore.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := sm.SaveMerged(s); err != nil {
+		b.Fatal(err) // bind dirty tracking to the store
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cost kvstore.WriteStats
+	for i := 0; i < b.N; i++ {
+		// Dirty a small working set between checkpoints; the refeed is the
+		// workload's cost, not the checkpoint's, so it runs off the clock.
+		b.StopTimer()
+		sm.FeedBatch(tr.Records[(i*32)%(len(tr.Records)-32) : (i*32)%(len(tr.Records)-32)+32])
+		b.StartTimer()
+		pre := s.WriteStats()
+		inc, err := sm.SaveCheckpoint(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !inc {
+			b.Fatal("checkpoint fell back to a full rewrite")
+		}
+		cost = statsDelta(pre, s.WriteStats())
+	}
+	b.ReportMetric(float64(cost.Bytes), "ckpt-B/op")
+	b.ReportMetric(float64(cost.Puts), "puts/op")
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"farmer/internal/graph"
+	"farmer/internal/kvstore"
 	"farmer/internal/trace"
 	"farmer/internal/vsm"
 )
@@ -111,6 +112,54 @@ type Model struct {
 	lists   map[trace.FileID][]Correlator
 	window  []trace.FileID // recent accesses, oldest first
 	fed     uint64
+
+	// Incremental-checkpoint dirty tracking. Once a save or load has
+	// synchronized the model with a checkpoint store, every mutation marks
+	// the touched file so the next save can write only the delta. dirtyOn
+	// stays false (one branch per mutation, no map traffic) until the first
+	// save/load — a model that never checkpoints pays nothing. ckptStore
+	// and saveEpoch bind the dirty sets to the store (and its epoch) they
+	// are a delta against; see persist.go.
+	dirtyOn   bool
+	dirty     map[trace.FileID]uint8 // dirtyList|dirtyVec|dirtyGraph bits
+	ckptStore *kvstore.Store
+	saveEpoch uint64
+}
+
+// Dirty bits: which of a file's three persisted facets changed since the
+// last completed save. A set bit with the facet now absent from the model
+// is a deletion tombstone — the incremental save deletes the key.
+const (
+	dirtyList uint8 = 1 << iota
+	dirtyVec
+	dirtyGraph
+)
+
+// markDirty records that a facet of f changed. Callers hold m.mu.
+func (m *Model) markDirty(f trace.FileID, bits uint8) {
+	if m.dirtyOn {
+		m.dirty[f] |= bits
+	}
+}
+
+// resetDirtyLocked clears the dirty set and (re)enables tracking — called
+// under m.mu by the persistence layer once a save or load has synchronized
+// the model with its checkpoint store.
+func (m *Model) resetDirtyLocked() {
+	m.dirtyOn = true
+	if m.dirty == nil {
+		m.dirty = make(map[trace.FileID]uint8)
+		return
+	}
+	clear(m.dirty)
+}
+
+// DirtyFiles reports how many files have pending dirty marks — the size of
+// the next incremental checkpoint.
+func (m *Model) DirtyFiles() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.dirty)
 }
 
 // New creates a model; it panics on invalid configuration (programmer
@@ -147,8 +196,11 @@ func (m *Model) SetListChangeHook(fn func(trace.FileID)) {
 	m.mu.Unlock()
 }
 
-// notifyListChange invokes the registered hook, if any. Callers hold m.mu.
+// notifyListChange invokes the registered hook, if any, and marks the list
+// dirty for the next incremental checkpoint — every Correlator-List mutation
+// (insert, update, drop, install) funnels through here. Callers hold m.mu.
 func (m *Model) notifyListChange(f trace.FileID) {
+	m.markDirty(f, dirtyList)
 	if m.listHook != nil {
 		m.listHook(f)
 	}
@@ -165,6 +217,7 @@ func (m *Model) Feed(r *trace.Record) {
 	// Stage 1: Extracting.
 	v := m.extractor.Extract(r)
 	m.vectors[r.File] = v
+	m.markDirty(r.File, dirtyVec)
 
 	// Stage 2: Constructing. Credit every file in the lookahead window.
 	m.g.Feed(r.File)
@@ -175,6 +228,7 @@ func (m *Model) Feed(r *trace.Record) {
 		if pred == r.File {
 			continue
 		}
+		m.markDirty(pred, dirtyGraph)
 		m.evaluate(pred, r.File)
 	}
 

@@ -42,7 +42,45 @@ const (
 	keyPrefixGraph  = "g/"
 	keyConfig       = "m/config"
 	keyWindow       = "m/window"
+	keyEpoch        = "m/epoch"
 )
+
+// kvWriter is the mutation surface a checkpoint stages into — satisfied by
+// *kvstore.Store (legacy direct writes) and *kvstore.Batch (atomic
+// checkpoint commits, the only writer the save paths use now).
+type kvWriter interface {
+	Put(key, value []byte) error
+	Delete(key []byte) error
+}
+
+// stageEpoch writes the m/epoch record: a counter incremented by every
+// completed checkpoint plus the stream position (fed counter) it cut at.
+// An incremental save is valid only against the exact epoch its in-memory
+// dirty sets were accumulated since — a store rewritten by anyone else in
+// between (restore tooling, another process) shows a different epoch and
+// forces a full rewrite instead of a silently diverging delta.
+func stageEpoch(w kvWriter, epoch, pos uint64) error {
+	buf := make([]byte, 0, 16)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, pos)
+	if err := w.Put([]byte(keyEpoch), buf); err != nil {
+		return fmt.Errorf("core: saving epoch: %w", err)
+	}
+	return nil
+}
+
+// readEpoch reads the m/epoch record; ok=false means the store predates
+// epochs (or is empty), which loads fine and simply disqualifies deltas.
+func readEpoch(s *kvstore.Store) (epoch, pos uint64, ok bool, err error) {
+	raw, found := s.Get([]byte(keyEpoch))
+	if !found {
+		return 0, 0, false, nil
+	}
+	if len(raw) != 16 {
+		return 0, 0, false, fmt.Errorf("core: corrupt persisted epoch (%d bytes)", len(raw))
+	}
+	return binary.LittleEndian.Uint64(raw[0:8]), binary.LittleEndian.Uint64(raw[8:16]), true, nil
+}
 
 // prefixEnd returns the exclusive upper Scan bound covering every key that
 // starts with prefix: the prefix with its last byte incremented. (The old
@@ -75,27 +113,100 @@ func graphKey(f trace.FileID) []byte {
 	return k
 }
 
-// SaveTo writes the model's mined state (Correlator Lists, semantic vectors,
-// the correlation graph, the lookahead window and the tunables needed to
-// keep mining) into the store. Repeated saves into the same store are
-// checkpoints: stale keys from a previous save — lists the threshold filter
-// has since dropped — are pruned, so the store always holds exactly the
-// model's current state.
+// SaveTo writes the model's complete mined state (Correlator Lists, semantic
+// vectors, the correlation graph, the lookahead window and the tunables
+// needed to keep mining) into the store as ONE atomic batch — a crash
+// mid-save leaves the previous checkpoint intact. Repeated saves into the
+// same store are checkpoints: stale keys from a previous save — lists the
+// threshold filter has since dropped — are pruned, so the store always holds
+// exactly the model's current state. A completed save (re)binds the model's
+// dirty tracking to the store, so a later SaveDelta can write just the
+// changes.
 func (m *Model) SaveTo(s *kvstore.Store) error {
+	epoch, _, _, err := readEpoch(s)
+	if err != nil {
+		return err
+	}
 	saved := newSavedKeys()
-	if err := m.saveState(s, saved); err != nil {
+	err = s.Batch(func(b *kvstore.Batch) error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if err := m.stageStateLocked(b, saved); err != nil {
+			return err
+		}
+		if err := saved.prune(s, b); err != nil {
+			return err
+		}
+		if err := stageWindow(b, m.window); err != nil {
+			return err
+		}
+		if err := stageConfig(b, m.cfg.Weight, m.cfg.MaxStrength, m.fed); err != nil {
+			return err
+		}
+		if err := stageEpoch(b, epoch+1, m.fed); err != nil {
+			return err
+		}
+		m.resetDirtyLocked()
+		m.ckptStore, m.saveEpoch = s, epoch+1
+		return nil
+	})
+	if err != nil {
+		m.mu.Lock()
+		m.ckptStore = nil
+		m.mu.Unlock()
 		return err
 	}
-	if err := saved.prune(s); err != nil {
-		return err
-	}
-	if err := saveWindow(s, m.WindowTail()); err != nil {
-		return err
-	}
+	return nil
+}
+
+// SaveDelta writes only the keys dirtied since the last completed save —
+// puts for facets still present, tombstone deletes for dropped ones — plus
+// the always-small window/config/epoch records, as one atomic batch: the
+// O(touched) checkpoint. It requires s to be the very store, at the very
+// epoch, the model's dirty sets were accumulated against; on any mismatch
+// (first save, a different store, an epoch someone else advanced) it
+// transparently falls back to a full SaveTo. Returns whether the delta path
+// ran.
+func (m *Model) SaveDelta(s *kvstore.Store) (bool, error) {
 	m.mu.RLock()
-	fed := m.fed
+	bound := m.dirtyOn && m.ckptStore == s
+	boundEpoch := m.saveEpoch
 	m.mu.RUnlock()
-	return saveConfig(s, m.cfg.Weight, m.cfg.MaxStrength, fed)
+	if bound {
+		epoch, _, ok, err := readEpoch(s)
+		if err != nil || !ok || epoch != boundEpoch {
+			bound = false
+		}
+	}
+	if !bound {
+		return false, m.SaveTo(s)
+	}
+	err := s.Batch(func(b *kvstore.Batch) error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if err := m.stageDeltaLocked(b); err != nil {
+			return err
+		}
+		if err := stageWindow(b, m.window); err != nil {
+			return err
+		}
+		if err := stageConfig(b, m.cfg.Weight, m.cfg.MaxStrength, m.fed); err != nil {
+			return err
+		}
+		if err := stageEpoch(b, boundEpoch+1, m.fed); err != nil {
+			return err
+		}
+		m.resetDirtyLocked()
+		m.saveEpoch = boundEpoch + 1
+		return nil
+	})
+	if err != nil {
+		m.mu.Lock()
+		m.ckptStore = nil
+		m.mu.Unlock()
+		return false, err
+	}
+	return true, nil
 }
 
 // savedKeys tracks which list/vector/graph keys a checkpoint wrote, so prune
@@ -115,7 +226,12 @@ func newSavedKeys() *savedKeys {
 	}
 }
 
-func (sk *savedKeys) prune(s *kvstore.Store) error {
+// prune stages deletes into w for every list/vector/graph key present in
+// the store but absent from a just-staged full save — the full-rewrite
+// leftovers sweep. Reads scan the store directly (a Batch's staged records
+// are invisible to Scan, which is exactly right: the scan sees the PREVIOUS
+// checkpoint's keys).
+func (sk *savedKeys) prune(s *kvstore.Store, w kvWriter) error {
 	var stale [][]byte
 	collect := func(prefix string, keep map[trace.FileID]struct{}) {
 		s.Scan([]byte(prefix), prefixEnd(prefix), func(k, v []byte) bool {
@@ -133,64 +249,78 @@ func (sk *savedKeys) prune(s *kvstore.Store) error {
 	collect(keyPrefixVector, sk.vecs)
 	collect(keyPrefixGraph, sk.graphs)
 	for _, k := range stale {
-		if err := s.Delete(k); err != nil {
+		if err := w.Delete(k); err != nil {
 			return fmt.Errorf("core: pruning stale key %q: %w", k, err)
 		}
 	}
 	return nil
 }
 
-// saveState writes the model's lists and vectors (no config record) — the
-// per-shard half of a merged ensemble save — recording each written key in
-// saved for the caller's prune.
-func (m *Model) saveState(s *kvstore.Store, saved *savedKeys) error {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-
-	var buf bytes.Buffer
-	putU32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
-	putF64 := func(v float64) { binary.Write(&buf, binary.LittleEndian, math.Float64bits(v)) }
-	putStr := func(v string) {
-		putU32(uint32(len(v)))
-		buf.WriteString(v)
+// appendListValue encodes one Correlator List in the c/ record format.
+func appendListValue(dst []byte, list []Correlator) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(len(list)))
+	for _, c := range list {
+		dst = le.AppendUint32(dst, uint32(c.File))
+		dst = le.AppendUint64(dst, math.Float64bits(c.Degree))
+		dst = le.AppendUint64(dst, math.Float64bits(c.Sim))
+		dst = le.AppendUint64(dst, math.Float64bits(c.Freq))
 	}
+	return dst
+}
 
+// appendVectorValue encodes one semantic vector in the v/ record format.
+func appendVectorValue(dst []byte, v *vsm.Vector) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(len(v.Scalars)))
+	for _, sc := range v.Scalars {
+		dst = le.AppendUint32(dst, uint32(len(sc)))
+		dst = append(dst, sc...)
+	}
+	dst = le.AppendUint32(dst, uint32(len(v.Path)))
+	dst = append(dst, v.Path...)
+	return dst
+}
+
+// appendGraphValue encodes one correlation-graph node in the g/ record
+// format.
+func appendGraphValue(dst []byte, total float64, edges []graph.Edge) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, math.Float64bits(total))
+	dst = le.AppendUint32(dst, uint32(len(edges)))
+	for _, e := range edges {
+		dst = le.AppendUint32(dst, uint32(e.To))
+		dst = le.AppendUint64(dst, math.Float64bits(e.Weight))
+	}
+	return dst
+}
+
+// stageStateLocked stages the model's complete lists, vectors and graph (no
+// config record) — the per-shard half of a merged ensemble save — recording
+// each written key in saved for the caller's prune. Encoding is direct
+// appends on one reused scratch slice (the writer copies what it stages);
+// the old bytes.Buffer + reflection-driven binary.Write path allocated per
+// field on every key of every checkpoint. Callers hold m.mu.
+func (m *Model) stageStateLocked(w kvWriter, saved *savedKeys) error {
+	scratch := make([]byte, 0, 512)
 	for f, list := range m.lists {
-		buf.Reset()
-		putU32(uint32(len(list)))
-		for _, c := range list {
-			putU32(uint32(c.File))
-			putF64(c.Degree)
-			putF64(c.Sim)
-			putF64(c.Freq)
-		}
-		if err := s.Put(listKey(f), buf.Bytes()); err != nil {
+		scratch = appendListValue(scratch[:0], list)
+		if err := w.Put(listKey(f), scratch); err != nil {
 			return fmt.Errorf("core: saving list %d: %w", f, err)
 		}
 		saved.lists[f] = struct{}{}
 	}
 	for f, v := range m.vectors {
-		buf.Reset()
-		putU32(uint32(len(v.Scalars)))
-		for _, sc := range v.Scalars {
-			putStr(sc)
-		}
-		putStr(v.Path)
-		if err := s.Put(vectorKey(f), buf.Bytes()); err != nil {
+		scratch = appendVectorValue(scratch[:0], &v)
+		if err := w.Put(vectorKey(f), scratch); err != nil {
 			return fmt.Errorf("core: saving vector %d: %w", f, err)
 		}
 		saved.vecs[f] = struct{}{}
 	}
 	var gerr error
 	m.g.Export(func(from trace.FileID, total float64, edges []graph.Edge) bool {
-		buf.Reset()
-		putF64(total)
-		putU32(uint32(len(edges)))
-		for _, e := range edges {
-			putU32(uint32(e.To))
-			putF64(e.Weight)
-		}
-		if gerr = s.Put(graphKey(from), buf.Bytes()); gerr != nil {
+		scratch = appendGraphValue(scratch[:0], total, edges)
+		if gerr = w.Put(graphKey(from), scratch); gerr != nil {
 			gerr = fmt.Errorf("core: saving graph node %d: %w", from, gerr)
 			return false
 		}
@@ -200,14 +330,55 @@ func (m *Model) saveState(s *kvstore.Store, saved *savedKeys) error {
 	return gerr
 }
 
-// saveWindow writes the m/window record (count + file ids, oldest first).
-func saveWindow(s *kvstore.Store, w []trace.FileID) error {
-	buf := make([]byte, 0, 4+4*len(w))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w)))
-	for _, f := range w {
+// stageDeltaLocked stages only the dirty files: for each marked facet, a Put
+// of its current encoding when the model still holds it, a tombstone Delete
+// when it dropped (a list the validity filter emptied must not resurrect on
+// reload). Callers hold m.mu.
+func (m *Model) stageDeltaLocked(w kvWriter) error {
+	scratch := make([]byte, 0, 512)
+	for f, bits := range m.dirty {
+		if bits&dirtyList != 0 {
+			if list, ok := m.lists[f]; ok {
+				scratch = appendListValue(scratch[:0], list)
+				if err := w.Put(listKey(f), scratch); err != nil {
+					return fmt.Errorf("core: saving list %d: %w", f, err)
+				}
+			} else if err := w.Delete(listKey(f)); err != nil {
+				return fmt.Errorf("core: tombstoning list %d: %w", f, err)
+			}
+		}
+		if bits&dirtyVec != 0 {
+			if v, ok := m.vectors[f]; ok {
+				scratch = appendVectorValue(scratch[:0], &v)
+				if err := w.Put(vectorKey(f), scratch); err != nil {
+					return fmt.Errorf("core: saving vector %d: %w", f, err)
+				}
+			} else if err := w.Delete(vectorKey(f)); err != nil {
+				return fmt.Errorf("core: tombstoning vector %d: %w", f, err)
+			}
+		}
+		if bits&dirtyGraph != 0 {
+			if total, edges, ok := m.g.ExportNode(f); ok {
+				scratch = appendGraphValue(scratch[:0], total, edges)
+				if err := w.Put(graphKey(f), scratch); err != nil {
+					return fmt.Errorf("core: saving graph node %d: %w", f, err)
+				}
+			} else if err := w.Delete(graphKey(f)); err != nil {
+				return fmt.Errorf("core: tombstoning graph node %d: %w", f, err)
+			}
+		}
+	}
+	return nil
+}
+
+// stageWindow stages the m/window record (count + file ids, oldest first).
+func stageWindow(w kvWriter, win []trace.FileID) error {
+	buf := make([]byte, 0, 4+4*len(win))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(win)))
+	for _, f := range win {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(f))
 	}
-	if err := s.Put([]byte(keyWindow), buf); err != nil {
+	if err := w.Put([]byte(keyWindow), buf); err != nil {
 		return fmt.Errorf("core: saving window: %w", err)
 	}
 	return nil
@@ -236,17 +407,24 @@ func readWindow(s *kvstore.Store) ([]trace.FileID, error) {
 	return w, nil
 }
 
-// saveConfig writes the m/config record binding a saved state to its mining
-// parameters and ingest counter.
-func saveConfig(s *kvstore.Store, weight, maxStrength float64, fed uint64) error {
-	var buf bytes.Buffer
-	binary.Write(&buf, binary.LittleEndian, math.Float64bits(weight))
-	binary.Write(&buf, binary.LittleEndian, math.Float64bits(maxStrength))
-	binary.Write(&buf, binary.LittleEndian, fed)
-	if err := s.Put([]byte(keyConfig), buf.Bytes()); err != nil {
+// stageConfig stages the m/config record binding a saved state to its
+// mining parameters and ingest counter.
+func stageConfig(w kvWriter, weight, maxStrength float64, fed uint64) error {
+	buf := make([]byte, 0, 24)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(weight))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(maxStrength))
+	buf = binary.LittleEndian.AppendUint64(buf, fed)
+	if err := w.Put([]byte(keyConfig), buf); err != nil {
 		return fmt.Errorf("core: saving config: %w", err)
 	}
 	return nil
+}
+
+// ReadSavedConfig reports the mining parameters and ingest position a
+// store's checkpoint was saved with — how a catch-up installer pre-checks
+// compatibility before discarding its own state for the incoming one.
+func ReadSavedConfig(s *kvstore.Store) (weight, maxStrength float64, fed uint64, err error) {
+	return readConfig(s)
 }
 
 // readConfig reads and decodes the m/config record.
@@ -269,6 +447,10 @@ func readConfig(s *kvstore.Store) (weight, maxStrength float64, fed uint64, err 
 // threshold (guarding against silently mixing incompatible parameters).
 func (m *Model) LoadFrom(s *kvstore.Store) error {
 	weight, strength, fed, err := readConfig(s)
+	if err != nil {
+		return err
+	}
+	epoch, _, _, err := readEpoch(s)
 	if err != nil {
 		return err
 	}
@@ -310,6 +492,11 @@ func (m *Model) LoadFrom(s *kvstore.Store) error {
 	for f, n := range gnodes {
 		m.g.RestoreNode(f, n.total, n.edges)
 	}
+	// The model now equals the store: future mutations are a delta against
+	// this epoch (a pre-epoch store leaves saveEpoch 0, which SaveDelta
+	// refuses — the first post-load save is full and establishes one).
+	m.resetDirtyLocked()
+	m.ckptStore, m.saveEpoch = s, epoch
 	m.mu.Unlock()
 	m.PrimeWindow(window)
 	return nil
@@ -386,24 +573,96 @@ func scanState(s *kvstore.Store,
 // goroutines Feed captures a consistent cut of the stream: state and the
 // fed counter as of some exact record boundary, never a snapshot torn
 // across shards. Like a previous save's checkpoint, stale keys are pruned.
+// The whole checkpoint commits as one atomic kvstore batch, and a completed
+// save (re)binds the ensemble's dirty tracking to the store so the next
+// SaveCheckpoint can write just the delta.
 // (Events applied through ApplyExternal bypass the local dispatcher; a
 // server mined remotely should quiesce its owner before checkpointing.)
 func (s *ShardedModel) SaveMerged(st *kvstore.Store) error {
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
+	return s.saveMergedLocked(st)
+}
+
+func (s *ShardedModel) saveMergedLocked(st *kvstore.Store) error {
+	epoch, _, _, err := readEpoch(st)
+	if err != nil {
+		return err
+	}
 	saved := newSavedKeys()
-	for _, m := range s.shards {
-		if err := m.saveState(st, saved); err != nil {
+	err = st.Batch(func(b *kvstore.Batch) error {
+		for _, m := range s.shards {
+			m.mu.Lock()
+			serr := m.stageStateLocked(b, saved)
+			if serr == nil {
+				m.resetDirtyLocked()
+			}
+			m.mu.Unlock()
+			if serr != nil {
+				return serr
+			}
+		}
+		if err := saved.prune(st, b); err != nil {
 			return err
 		}
-	}
-	if err := saved.prune(st); err != nil {
+		if err := stageWindow(b, s.windowTailLocked()); err != nil {
+			return err
+		}
+		if err := stageConfig(b, s.cfg.Weight, s.cfg.MaxStrength, s.disp.Dispatched()); err != nil {
+			return err
+		}
+		return stageEpoch(b, epoch+1, s.disp.Dispatched())
+	})
+	if err != nil {
+		s.ckptStore = nil
 		return err
 	}
-	if err := saveWindow(st, s.windowTailLocked()); err != nil {
-		return err
+	s.ckptStore, s.saveEpoch = st, epoch+1
+	return nil
+}
+
+// SaveCheckpoint writes the cheapest valid checkpoint into st: the dirty-key
+// delta when st is the store (at the epoch) the last completed save or load
+// synchronized with, a full SaveMerged otherwise. It reports whether the
+// delta path ran — the caller's cue that compaction is unnecessary. This is
+// the method a periodically checkpointing daemon should use: its cost tracks
+// the write rate between checkpoints, not the model size.
+func (s *ShardedModel) SaveCheckpoint(st *kvstore.Store) (incremental bool, err error) {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	if s.ckptStore != st || s.saveEpoch == 0 {
+		return false, s.saveMergedLocked(st)
 	}
-	return saveConfig(st, s.cfg.Weight, s.cfg.MaxStrength, s.disp.Dispatched())
+	epoch, _, ok, err := readEpoch(st)
+	if err != nil || !ok || epoch != s.saveEpoch {
+		return false, s.saveMergedLocked(st)
+	}
+	err = st.Batch(func(b *kvstore.Batch) error {
+		for _, m := range s.shards {
+			m.mu.Lock()
+			serr := m.stageDeltaLocked(b)
+			if serr == nil {
+				m.resetDirtyLocked()
+			}
+			m.mu.Unlock()
+			if serr != nil {
+				return serr
+			}
+		}
+		if err := stageWindow(b, s.windowTailLocked()); err != nil {
+			return err
+		}
+		if err := stageConfig(b, s.cfg.Weight, s.cfg.MaxStrength, s.disp.Dispatched()); err != nil {
+			return err
+		}
+		return stageEpoch(b, epoch+1, s.disp.Dispatched())
+	})
+	if err != nil {
+		s.ckptStore = nil
+		return false, err
+	}
+	s.saveEpoch = epoch + 1
+	return true, nil
 }
 
 // windowTailLocked reads the ensemble's live lookahead window holding dmu:
@@ -519,6 +778,21 @@ func (s *ShardedModel) LoadMerged(st *kvstore.Store) error {
 	}
 	s.primeWindowLocked(window)
 	s.disp.Advance(fed)
+	// The ensemble now equals the store: start dirty tracking so the next
+	// SaveCheckpoint into this same store can be a delta. (A catch-up
+	// install loads from a transient in-memory store; its binding simply
+	// never matches the daemon's real store, forcing the next save full —
+	// exactly right, since the real store knows nothing of this state.)
+	epoch, _, _, err := readEpoch(st)
+	if err != nil {
+		return err
+	}
+	for _, m := range s.shards {
+		m.mu.Lock()
+		m.resetDirtyLocked()
+		m.mu.Unlock()
+	}
+	s.ckptStore, s.saveEpoch = st, epoch
 	return nil
 }
 

@@ -28,6 +28,8 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"farmer/internal/graph"
+	"farmer/internal/kvstore"
 	"farmer/internal/partition"
 	"farmer/internal/trace"
 	"farmer/internal/vsm"
@@ -54,11 +56,13 @@ func (m *Model) ApplyEvents(evs []partition.Event) {
 		ev := &evs[i]
 		if ev.Access {
 			m.vectors[ev.Succ] = ev.Vec
+			m.markDirty(ev.Succ, dirtyVec)
 			continue
 		}
 		if ev.Credit > 0 {
 			m.g.Add(ev.Pred, ev.Succ, ev.Credit)
 		}
+		m.markDirty(ev.Pred, dirtyGraph)
 		m.evaluateVec(ev.Pred, ev.Succ, ev.Vec, true)
 	}
 }
@@ -85,6 +89,13 @@ type ShardedModel struct {
 	tmu      sync.RWMutex
 	taps     []*EventTap
 	tapCount atomic.Int32
+
+	// Checkpoint binding (guarded by dmu): the store the last full save or
+	// load synchronized the ensemble with, and the epoch that pass wrote or
+	// read. SaveCheckpoint writes a delta only into this same store at this
+	// same epoch; anything else falls back to a full rewrite. See persist.go.
+	ckptStore *kvstore.Store
+	saveEpoch uint64
 }
 
 // NewSharded creates a sharded miner with cfg.Shards partitions (0 and 1
@@ -347,6 +358,12 @@ func (s *ShardedModel) Vector(f trace.FileID) (vsm.Vector, bool) {
 // Fed reports how many records the ensemble has ingested.
 func (s *ShardedModel) Fed() uint64 { return s.disp.Dispatched() }
 
+// Params reports the ensemble's mining parameters — the pair a persisted
+// checkpoint must match to be loadable into it.
+func (s *ShardedModel) Params() (weight, maxStrength float64) {
+	return s.cfg.Weight, s.cfg.MaxStrength
+}
+
 // ResetWindow forgets the lookahead window (stream boundary) while keeping
 // all mined knowledge.
 func (s *ShardedModel) ResetWindow() {
@@ -378,3 +395,44 @@ func (s *ShardedModel) Stats() Stats {
 
 // Shard exposes one partition's Model (tests, persistence experiments).
 func (s *ShardedModel) Shard(i int) *Model { return s.shards[i] }
+
+// Reset returns the ensemble to its freshly-constructed state — mined
+// knowledge, lookahead window, sequence counter, and checkpoint binding all
+// cleared — while preserving registered list hooks and event taps. It exists
+// for the one consumer that must install state over a non-fresh miner: a
+// replication follower whose delta catch-up was refused and who now needs
+// the primary's full cut (LoadMerged requires a fresh ensemble).
+func (s *ShardedModel) Reset() {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	for _, m := range s.shards {
+		m.reset()
+	}
+	s.disp = partition.NewDispatcher(partition.Config{
+		Owners:      len(s.shards),
+		Partitioner: s.part,
+		Mask:        s.cfg.Mask,
+		PathAlg:     s.cfg.PathAlg,
+		Graph:       s.cfg.Graph,
+	})
+	s.ckptStore = nil
+	s.saveEpoch = 0
+}
+
+// reset clears one shard back to its post-init state, keeping the list hook
+// registration. Every dropped Correlator List is notified so a subscribed
+// read cache invalidates its snapshots.
+func (m *Model) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for f := range m.lists {
+		delete(m.lists, f)
+		m.notifyListChange(f)
+	}
+	m.vectors = make(map[trace.FileID]vsm.Vector)
+	m.g = graph.New(m.cfg.Graph)
+	m.window = m.window[:0]
+	m.fed = 0
+	m.dirtyOn = false
+	m.dirty = nil
+}

@@ -41,11 +41,15 @@ type Options struct {
 	// ReplicateTo lists follower farmerd addresses this daemon replicates
 	// to (it serves as the replication primary). Follow starts the daemon
 	// as a promotable follower instead; the two are mutually exclusive.
-	// Followers bootstrap from the primary's catch-up checkpoint, so Follow
-	// excludes Load (state comes from the primary, not the local store; the
-	// store still receives this follower's own checkpoints).
+	// A follower started with Load resumes from its own checkpoint: the
+	// primary catches it up by replaying just the records it missed (delta
+	// catch-up) when it can, shipping a full cut otherwise.
 	ReplicateTo []string
 	Follow      bool
+	// CatchupTail is how many recent records a primary retains for delta
+	// catch-up (0 = default 65536, negative = full cuts only). Only
+	// meaningful with ReplicateTo.
+	CatchupTail int
 
 	// TLSCert/TLSKey name a PEM certificate/key pair; both or neither.
 	// When set, the daemon serves the wire protocol over TLS.
@@ -129,9 +133,6 @@ func Run(ctx context.Context, o Options) error {
 	}
 	if o.Follow && len(o.ReplicateTo) > 0 {
 		return fmt.Errorf("%w: -follow and -replicate-to are mutually exclusive (chained replication is not supported)", ErrUsage)
-	}
-	if o.Follow && o.Load {
-		return fmt.Errorf("%w: -follow excludes -load (a follower bootstraps from its primary's checkpoint)", ErrUsage)
 	}
 	for _, addr := range o.ReplicateTo {
 		if addr == "" {
@@ -254,6 +255,7 @@ func Run(ctx context.Context, o Options) error {
 		Checkpoint:   o.Ckpt,
 		DrainTimeout: o.Drain,
 		ReplicateTo:  o.ReplicateTo,
+		CatchupTail:  o.CatchupTail,
 		Follower:     o.Follow,
 		ReplicaToken: o.ReplicaToken,
 		TLS:          tlsCfg,

@@ -59,7 +59,6 @@ func TestRunUsageValidation(t *testing.T) {
 		{Addr: "x", Shards: -1},                               // negative shards
 		{Addr: "x", Partition: "bogus"},                       // unknown partitioner
 		{Addr: "x", Follow: true, ReplicateTo: []string{"y"}}, // follower replicating onward
-		{Addr: "x", Follow: true, Load: true, StorePath: "w"}, // follower loading local state
 		{Addr: "x", ReplicateTo: []string{""}},                // empty follower address
 		{Addr: "x", TLSCert: "cert.pem"},                      // cert without key
 		{Addr: "x", TLSKey: "key.pem"},                        // key without cert

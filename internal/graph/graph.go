@@ -244,6 +244,23 @@ func (g *Graph) Export(fn func(from trace.FileID, total float64, edges []Edge) b
 	}
 }
 
+// ExportNode returns one node in Export's shape — total plus out-edges
+// sorted by ascending file id — or ok=false when the file has no node. The
+// incremental checkpoint path uses it to re-serialize only dirty nodes
+// instead of walking the whole graph.
+func (g *Graph) ExportNode(from trace.FileID) (total float64, edges []Edge, ok bool) {
+	nd, ok := g.nodes[from]
+	if !ok {
+		return 0, nil, false
+	}
+	out := make([]Edge, 0, len(nd.edges))
+	for to, w := range nd.edges {
+		out = append(out, Edge{To: to, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	return nd.total, out, true
+}
+
 // RestoreNode installs one exported node exactly — total and edge weights as
 // given, replacing any existing node for the same file.
 func (g *Graph) RestoreNode(from trace.FileID, total float64, edges []Edge) {

@@ -20,6 +20,25 @@ type Store struct {
 	wal    *walWriter // nil for a purely in-memory store
 	walErr error      // set when the WAL was lost (failed compaction); mutations refuse
 	path   string
+	stats  WriteStats
+}
+
+// WriteStats counts the mutations a store has accepted — Puts, Deletes and
+// the WAL frame bytes they encode (counted even for in-memory stores, where
+// no log is written). Checkpoint code uses the deltas between readings as
+// the observable cost of a save; maintenance rewrites (Compact,
+// LoadSnapshot) are not counted.
+type WriteStats struct {
+	Puts    int64
+	Deletes int64
+	Bytes   int64
+}
+
+// WriteStats returns the cumulative mutation counters.
+func (s *Store) WriteStats() WriteStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
 }
 
 // ErrCorruptWAL reports that recovery met a frame whose CRC, structure or
@@ -50,7 +69,9 @@ func Open(path string) (*Store, error) {
 }
 
 func (s *Store) recover() error {
-	f, err := os.Open(s.path)
+	// O_RDWR: recovery may need to truncate a torn batch tail (a crash
+	// mid-checkpoint) so the log stays well-formed for future appends.
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -59,12 +80,43 @@ func (s *Store) recover() error {
 	}
 	defer f.Close()
 	r := newWALReader(f)
+	apply := func(rec walRecord) {
+		switch rec.op {
+		case walPut:
+			s.tree.Put(rec.key, rec.value)
+		case walDelete:
+			s.tree.Delete(rec.key)
+		}
+	}
+	// A walBegin opens a batch: its records are buffered and only applied
+	// when the walCommit marker arrives. A log that ends inside a batch —
+	// clean EOF or a torn record — is a crash mid-atomic-checkpoint: the
+	// whole batch is discarded and the file truncated back to just before
+	// the walBegin, leaving the pre-batch state intact.
+	var (
+		inBatch  bool
+		batchOff int64
+		batch    []walRecord
+	)
+	dropTorn := func() error {
+		if err := f.Truncate(batchOff); err != nil {
+			return fmt.Errorf("kvstore: dropping torn batch: %w", err)
+		}
+		return f.Sync()
+	}
 	for {
+		prevOff := r.goodOff
 		rec, err := r.next()
 		if errors.Is(err, io.EOF) {
+			if inBatch {
+				return dropTorn()
+			}
 			return nil
 		}
 		if errors.Is(err, errCorrupt) {
+			if inBatch {
+				return dropTorn()
+			}
 			return fmt.Errorf("kvstore: %s: record %d at offset %d: %w",
 				s.path, r.records, r.goodOff, ErrCorruptWAL)
 		}
@@ -72,10 +124,27 @@ func (s *Store) recover() error {
 			return err
 		}
 		switch rec.op {
-		case walPut:
-			s.tree.Put(rec.key, rec.value)
-		case walDelete:
-			s.tree.Delete(rec.key)
+		case walBegin:
+			if inBatch {
+				return fmt.Errorf("kvstore: %s: nested batch begin at offset %d: %w",
+					s.path, prevOff, ErrCorruptWAL)
+			}
+			inBatch, batchOff, batch = true, prevOff, batch[:0]
+		case walCommit:
+			if !inBatch {
+				return fmt.Errorf("kvstore: %s: stray batch commit at offset %d: %w",
+					s.path, prevOff, ErrCorruptWAL)
+			}
+			for _, br := range batch {
+				apply(br)
+			}
+			inBatch, batch = false, batch[:0]
+		default:
+			if inBatch {
+				batch = append(batch, rec)
+			} else {
+				apply(rec)
+			}
 		}
 	}
 }
@@ -147,6 +216,8 @@ func (s *Store) Put(key, value []byte) error {
 		}
 	}
 	s.tree.Put(key, append([]byte(nil), value...))
+	s.stats.Puts++
+	s.stats.Bytes += walFrameSize(len(key), len(value))
 	return nil
 }
 
@@ -163,6 +234,95 @@ func (s *Store) Delete(key []byte) error {
 		}
 	}
 	s.tree.Delete(key)
+	s.stats.Deletes++
+	s.stats.Bytes += walFrameSize(len(key), 0)
+	return nil
+}
+
+// Batch stages puts and deletes that commit atomically. The staged records
+// are framed between walBegin/walCommit markers and applied to the tree only
+// after the commit marker is written, so recovery after a crash mid-batch
+// discards the half-written batch wholesale (a checkpoint is either entirely
+// present or entirely absent — never torn). Keys and values are copied when
+// staged; callers may reuse their buffers.
+type Batch struct {
+	recs []walRecord
+	st   WriteStats
+}
+
+// Put stages key=value.
+func (b *Batch) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return errors.New("kvstore: empty key")
+	}
+	b.recs = append(b.recs, walRecord{
+		op:    walPut,
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.st.Puts++
+	b.st.Bytes += walFrameSize(len(key), len(value))
+	return nil
+}
+
+// Delete stages removal of key. Deleting an absent key is not an error.
+func (b *Batch) Delete(key []byte) error {
+	if len(key) == 0 {
+		return errors.New("kvstore: empty key")
+	}
+	b.recs = append(b.recs, walRecord{op: walDelete, key: append([]byte(nil), key...)})
+	b.st.Deletes++
+	b.st.Bytes += walFrameSize(len(key), 0)
+	return nil
+}
+
+// Len reports the number of staged records.
+func (b *Batch) Len() int { return len(b.recs) }
+
+// Batch runs fn to stage a set of mutations, then commits them atomically:
+// one walBegin frame, the staged records, one walCommit frame, a single
+// flush, and only then the tree application. fn runs WITHOUT the store lock
+// (so it may read the model under the model's own locks); an error from fn
+// abandons the batch untouched. A write error mid-commit poisons the WAL
+// (walErr) — a later append could otherwise land inside the unterminated
+// batch and be silently discarded by recovery.
+func (s *Store) Batch(fn func(*Batch) error) error {
+	var b Batch
+	if err := fn(&b); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.walErr; err != nil {
+		return fmt.Errorf("kvstore: wal unavailable: %w", err)
+	}
+	if s.wal != nil {
+		werr := s.wal.stage(walRecord{op: walBegin})
+		for i := 0; werr == nil && i < len(b.recs); i++ {
+			werr = s.wal.stage(b.recs[i])
+		}
+		if werr == nil {
+			werr = s.wal.stage(walRecord{op: walCommit})
+		}
+		if werr == nil {
+			werr = s.wal.flush()
+		}
+		if werr != nil {
+			s.walErr = werr
+			return fmt.Errorf("kvstore: batch commit: %w", werr)
+		}
+	}
+	for _, rec := range b.recs {
+		switch rec.op {
+		case walPut:
+			s.tree.Put(rec.key, rec.value)
+		case walDelete:
+			s.tree.Delete(rec.key)
+		}
+	}
+	s.stats.Puts += b.st.Puts
+	s.stats.Deletes += b.st.Deletes
+	s.stats.Bytes += b.st.Bytes
 	return nil
 }
 
@@ -213,6 +373,9 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 		}
 		if err != nil {
 			return err
+		}
+		if rec.op != walPut {
+			return fmt.Errorf("kvstore: snapshot contains op %d: %w", rec.op, ErrCorruptWAL)
 		}
 		tree.Put(rec.key, rec.value)
 		if s.wal != nil {
@@ -339,7 +502,18 @@ type walOp uint8
 const (
 	walPut walOp = iota + 1
 	walDelete
+	// walBegin/walCommit bracket an atomic batch (empty key and value).
+	// Recovery buffers the records between them and applies the batch only
+	// when the commit marker is intact; an unterminated batch is truncated
+	// away. Logs written before these ops existed contain neither and
+	// recover exactly as before.
+	walBegin
+	walCommit
 )
+
+// walFrameSize is the on-disk size of one WAL frame: u32 crc + u8 op +
+// u32 klen + u32 vlen + key + value.
+func walFrameSize(klen, vlen int) int64 { return int64(4 + 9 + klen + vlen) }
 
 type walRecord struct {
 	op    walOp
@@ -366,7 +540,9 @@ func newWALWriter(w io.WriteCloser) *walWriter {
 	return &walWriter{w: w, bw: bufio.NewWriter(w)}
 }
 
-func (w *walWriter) append(rec walRecord) error {
+// stage writes one frame into the buffered writer without flushing — the
+// building block batch commits use to pay one flush for many records.
+func (w *walWriter) stage(rec walRecord) error {
 	payload := make([]byte, 1+4+4+len(rec.key)+len(rec.value))
 	payload[0] = byte(rec.op)
 	binary.LittleEndian.PutUint32(payload[1:5], uint32(len(rec.key)))
@@ -378,7 +554,12 @@ func (w *walWriter) append(rec walRecord) error {
 	if _, err := w.bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.bw.Write(payload); err != nil {
+	_, err := w.bw.Write(payload)
+	return err
+}
+
+func (w *walWriter) append(rec walRecord) error {
+	if err := w.stage(rec); err != nil {
 		return err
 	}
 	return w.bw.Flush()
@@ -433,7 +614,13 @@ func (r *walReader) next() (walRecord, error) {
 		key:   append([]byte(nil), payload[9:9+klen]...),
 		value: append([]byte(nil), payload[9+klen:]...),
 	}
-	if rec.op != walPut && rec.op != walDelete {
+	switch rec.op {
+	case walPut, walDelete:
+	case walBegin, walCommit:
+		if klen != 0 || vlen != 0 {
+			return walRecord{}, errCorrupt
+		}
+	default:
 		return walRecord{}, errCorrupt
 	}
 	r.goodOff += int64(4 + len(payload))

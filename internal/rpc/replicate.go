@@ -39,6 +39,16 @@ type Replicator struct {
 	ackTimeout time.Duration
 	lost       func(addr string, err error)
 	dialOpts   DialOptions
+
+	// Delta catch-up (EnableDeltaCatchup): the tail ring retains the last
+	// tailCap ingested records — positions [tailBase, pos) — so a follower
+	// restarting from its own on-disk checkpoint can be caught up by
+	// replaying just the records it missed instead of shipping a full
+	// snapshot. deltaFp non-nil is the armed flag.
+	tailCap  int
+	tail     []trace.Record
+	tailBase uint64
+	deltaFp  func() (fingerprint uint64, fileCount int)
 }
 
 type replFollower struct {
@@ -66,6 +76,27 @@ func NewReplicator(pos uint64, ackTimeout time.Duration, lost func(addr string, 
 func (r *Replicator) SetDialOptions(opts DialOptions) {
 	r.mu.Lock()
 	r.dialOpts = opts
+	r.mu.Unlock()
+}
+
+// EnableDeltaCatchup arms the delta catch-up path: the replicator retains
+// the most recent tailCap ingested records, and Attach first offers a
+// restarted follower — one whose Stats place its position inside that tail —
+// a MsgCatchupDelta replay from its own position instead of a full snapshot.
+// fp is consulted under the stream lock (the stream is quiescent) and must
+// return the primary's current state fingerprint and tracked-file bound; the
+// follower verifies the fingerprint after replaying the delta, so a delta
+// attach ends with the same state guarantee as a full one. tailCap <= 0 is a
+// no-op. Call before the first Attach.
+func (r *Replicator) EnableDeltaCatchup(tailCap int, fp func() (fingerprint uint64, fileCount int)) {
+	if tailCap <= 0 || fp == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tailCap = tailCap
+	r.deltaFp = fp
+	r.tail = r.tail[:0]
+	r.tailBase = r.pos
 	r.mu.Unlock()
 }
 
@@ -98,10 +129,29 @@ func (r *Replicator) Followers() []string {
 func (r *Replicator) Attach(ctx context.Context, addr string, cut func() (CatchupCut, error)) error {
 	r.mu.Lock()
 	opts := r.dialOpts
+	deltaOn := r.deltaFp != nil
 	r.mu.Unlock()
 	c, err := DialWith(ctx, addr, opts)
 	if err != nil {
 		return fmt.Errorf("rpc: attaching follower %s: %w", addr, err)
+	}
+	if deltaOn {
+		done, sent, derr := r.attachDelta(ctx, addr, c)
+		if done {
+			return derr
+		}
+		if sent {
+			// The follower refused the replay mid-delta (an old server
+			// answers CodeUnsupported here): fall back to the full cut on a
+			// fresh connection — the refused transfer may have left frames
+			// in flight on this one.
+			c.Close()
+			if c, err = DialWith(ctx, addr, opts); err != nil {
+				return fmt.Errorf("rpc: attaching follower %s: %w", addr, err)
+			}
+		}
+		// Offer inapplicable (no resumable position, or outside the tail):
+		// nothing was sent, the same connection carries the full cut.
 	}
 	r.mu.Lock()
 	cc, err := cut()
@@ -169,6 +219,91 @@ func (r *Replicator) Attach(ctx context.Context, addr string, cut func() (Catchu
 // tests can force the chunked path on small snapshots.
 var maxCatchupChunk = 8 << 20
 
+// attachDelta offers a restarted follower a catch-up by record replay from
+// its own position. done=true means the attach completed and err is its
+// outcome; done=false means the offer did not apply and the caller should
+// fall back to the full cut — on a fresh connection when sent reports delta
+// frames already went out, on this same connection otherwise. The probe (the
+// follower's Stats) runs outside the stream lock — an idle, unattached
+// follower's position cannot move; the cut itself — position check,
+// fingerprint, frame starts, follower registration — is atomic under the
+// lock, exactly like the full path.
+func (r *Replicator) attachDelta(ctx context.Context, addr string, c *Client) (done, sent bool, err error) {
+	st, err := c.Stats(ctx)
+	if err != nil || st.Fed == 0 {
+		return false, false, nil
+	}
+	r.mu.Lock()
+	if st.Fed < r.tailBase || st.Fed > r.pos {
+		r.mu.Unlock()
+		return false, false, nil
+	}
+	fp, fileCount := r.deltaFp()
+	recs := r.tail[st.Fed-r.tailBase:]
+	// A delta bigger than one frame ships as non-final MsgCatchupDelta
+	// frames (each at its own cumulative position, replayed in FIFO order)
+	// plus a final frame carrying the fingerprint the follower must match
+	// after the whole replay. Zero missed records still ship one final
+	// frame: the fingerprint check is the attach guarantee.
+	var pendings []*pending
+	startErr := func() error {
+		pos := st.Fed
+		for {
+			n, size := 0, 0
+			for n < len(recs) && size < maxCatchupChunk {
+				size += 24 + len(recs[n].Path)
+				n++
+			}
+			final := n == len(recs)
+			d := CatchupDelta{FromPos: pos, Records: recs[:n], Final: final}
+			if final {
+				d.Fingerprint, d.FileCount = fp, fileCount
+			}
+			p, err := c.start(MsgCatchupDelta, appendCatchupDelta(nil, &d))
+			if err != nil {
+				return err
+			}
+			pendings = append(pendings, p)
+			if final {
+				return nil
+			}
+			pos += uint64(n)
+			recs = recs[n:]
+		}
+	}()
+	if startErr != nil {
+		r.mu.Unlock()
+		return false, true, nil
+	}
+	f := &replFollower{addr: addr, c: c}
+	r.followers = append(r.followers, f)
+	r.mu.Unlock()
+
+	for _, p := range pendings {
+		if _, werr := c.wait(ctx, p); werr != nil {
+			// Not a lost follower — the caller retries with a full cut —
+			// so detach without the lost callback.
+			r.detachQuiet(f)
+			return false, true, nil
+		}
+	}
+	return true, true, nil
+}
+
+// detachQuiet removes a follower without closing its connection or invoking
+// the lost callback — used when a refused delta offer is about to be retried
+// as a full cut.
+func (r *Replicator) detachQuiet(f *replFollower) {
+	r.mu.Lock()
+	for i, g := range r.followers {
+		if g == f {
+			r.followers = append(r.followers[:i], r.followers[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+}
+
 // Ingest replicates one record batch: mine runs the local ingestion under
 // the stream lock, then the batch is enqueued to every follower at the
 // claimed position. It returns after every live follower acked (followers
@@ -190,6 +325,16 @@ func (r *Replicator) Ingest(ctx context.Context, recs []trace.Record, mine func(
 		}
 		return body
 	})
+	if r.deltaFp != nil {
+		// Extend the catch-up tail. Trimming by reslice leaves the backing
+		// array to append's usual reallocation; memory stays within a small
+		// constant of tailCap records.
+		r.tail = append(r.tail, recs...)
+		if drop := len(r.tail) - r.tailCap; drop > 0 {
+			r.tail = r.tail[drop:]
+			r.tailBase += uint64(drop)
+		}
+	}
 	r.pos += uint64(len(recs))
 	r.mu.Unlock()
 	r.await(ctx, waits)
@@ -213,6 +358,13 @@ func (r *Replicator) Groups(ctx context.Context, req GroupsReq, run func() error
 		}
 		return body
 	})
+	if r.deltaFp != nil {
+		// A group cut is a command, not records: a follower resuming from
+		// before it would replay the records but silently miss the cut, so
+		// the resumable tail restarts at the current position.
+		r.tail = r.tail[:0]
+		r.tailBase = r.pos
+	}
 	r.mu.Unlock()
 	r.await(ctx, waits)
 	return nil

@@ -123,6 +123,9 @@ func (b *replicaRecorder) Catchup(conn uint64, cut CatchupCut) error {
 	b.src = conn
 	return nil
 }
+func (b *replicaRecorder) CatchupDelta(conn uint64, d CatchupDelta) error {
+	return fmt.Errorf("no resumable position")
+}
 func (b *replicaRecorder) Replicate(conn uint64, pos uint64, recs []trace.Record) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -44,6 +44,11 @@ type ReplicaBackend interface {
 	Backend
 	Promote() error
 	Catchup(conn uint64, cut CatchupCut) error
+	// CatchupDelta applies one chunk of a delta catch-up: the follower
+	// replays the missed records through its own miner and, on the final
+	// chunk, verifies the primary's fingerprint against its post-replay
+	// state. Any error tells the primary to fall back to a full cut.
+	CatchupDelta(conn uint64, d CatchupDelta) error
 	Replicate(conn uint64, pos uint64, recs []trace.Record) error
 	ReplicateGroups(conn uint64, pos uint64, req GroupsReq) error
 	Groups(req GroupsReq) (GroupsInfo, error)
@@ -492,6 +497,19 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 			cut.Snapshot = append([]byte(nil), cut.Snapshot...)
 		}
 		if err := rb.Catchup(conn, cut); err != nil {
+			return backendErr(err)
+		}
+		return ok(nil)
+	case MsgCatchupDelta:
+		rb := replica()
+		if rb == nil {
+			return fail(CodeUnsupported, errReplicaUnsupported)
+		}
+		d, err := decodeCatchupDelta(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		if err := rb.CatchupDelta(conn, d); err != nil {
 			return backendErr(err)
 		}
 		return ok(nil)

@@ -133,6 +133,15 @@ const (
 	// MsgTenants lists the live tenants: the MsgOK body is a TenantInfo
 	// list (name + stats per tenant) — the read behind `farmerctl tenants`.
 	MsgTenants
+	// MsgCatchupDelta catches a restarted follower up from its own resumable
+	// position with a chunked replay of the records it missed instead of a
+	// full snapshot: u64 fromPos, u64 fingerprint, u32 fileCount, u8 flags
+	// (bit 0 = final), u32 count + records. The fingerprint/fileCount fields
+	// are zero on non-final chunks; the final chunk carries the primary's
+	// current state fingerprint, which the follower verifies after replay
+	// exactly like a full cut's. A server that predates the frame answers
+	// CodeUnsupported, and the primary falls back to the full snapshot path.
+	MsgCatchupDelta
 
 	// Response frames.
 	MsgOK  MsgType = 0x40
@@ -639,6 +648,58 @@ func decodeCatchup(b []byte) (CatchupCut, error) {
 		Fingerprint: le.Uint64(b[8:16]),
 		FileCount:   int(le.Uint32(b[16:20])),
 		Snapshot:    b[20:],
+	}, nil
+}
+
+// CatchupDelta is one chunk of a delta catch-up: the records a restarted
+// follower missed, replayed through its own miner (mining is deterministic,
+// so replay from an identical base state reproduces the primary's state
+// bit-identically). FromPos is the stream position BEFORE this chunk's
+// records; the follower refuses a position that does not equal its own fed
+// counter. Final marks the last chunk, whose Fingerprint/FileCount the
+// follower verifies against its post-replay state.
+type CatchupDelta struct {
+	FromPos     uint64
+	Fingerprint uint64
+	FileCount   int
+	Final       bool
+	Records     []trace.Record
+}
+
+// MsgCatchupDelta body: u64 fromPos, u64 fingerprint, u32 fileCount,
+// u8 flags (bit 0 = final), u32 count + records.
+func appendCatchupDelta(dst []byte, d *CatchupDelta) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, d.FromPos)
+	dst = le.AppendUint64(dst, d.Fingerprint)
+	dst = le.AppendUint32(dst, uint32(d.FileCount))
+	var flags byte
+	if d.Final {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	return appendRecords(dst, d.Records)
+}
+
+func decodeCatchupDelta(b []byte) (CatchupDelta, error) {
+	if len(b) < 21 {
+		return CatchupDelta{}, fmt.Errorf("rpc: catchup delta body is %d bytes, want >= 21", len(b))
+	}
+	le := binary.LittleEndian
+	flags := b[20]
+	if flags&^byte(1) != 0 {
+		return CatchupDelta{}, fmt.Errorf("rpc: catchup delta has unknown flag bits %#x", flags)
+	}
+	recs, err := consumeRecords(b[21:])
+	if err != nil {
+		return CatchupDelta{}, err
+	}
+	return CatchupDelta{
+		FromPos:     le.Uint64(b[:8]),
+		Fingerprint: le.Uint64(b[8:16]),
+		FileCount:   int(le.Uint32(b[16:20])),
+		Final:       flags&1 != 0,
+		Records:     recs,
 	}, nil
 }
 

@@ -150,6 +150,9 @@ type LocalMiner struct {
 	gmu    sync.Mutex       // guards groups creation
 	groups *replica.Manager // lazily created replica-group manager (§4.3)
 
+	ckptMu        sync.Mutex
+	ckptSinceFull int // incremental checkpoints since the last full one
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -243,19 +246,57 @@ func (m *LocalMiner) Stats(ctx context.Context) (ModelStats, error) {
 	return m.sm.Stats(), nil
 }
 
-// saveToStore is the checkpoint body — a seam so tests can stand in a
-// blocking store write and prove Save honors its context.
-var saveToStore = func(sm *ShardedModel, st *Store) error {
-	if err := sm.SaveMerged(st); err != nil {
+// saveToStore is the checkpoint-body seam so tests can stand in a blocking
+// store write and prove Save honors its context. nil (the default) means
+// the real body, LocalMiner.checkpoint.
+var saveToStore func(sm *ShardedModel, st *Store) error
+
+// fullCheckpointEvery forces every Nth checkpoint full — with a WAL
+// compaction behind it — even when a delta would be valid. Deltas append to
+// the write-ahead log, so without a periodic full anchor the log would grow
+// by one delta per checkpoint forever; with it, the store stays within a
+// bounded multiple of one live-state copy.
+const fullCheckpointEvery = 16
+
+// checkpoint writes the cheapest valid checkpoint: the dirty-key delta
+// (core.ShardedModel.SaveCheckpoint) most of the time — O(records mined
+// since the last save), not O(model) — and a full rewrite plus compaction
+// on the first save, every fullCheckpointEvery-th save, or whenever the
+// store's epoch says a delta would not be safe.
+func (m *LocalMiner) checkpoint(sm *ShardedModel, st *Store) error {
+	m.ckptMu.Lock()
+	forceFull := m.ckptSinceFull >= fullCheckpointEvery-1
+	m.ckptMu.Unlock()
+	var (
+		incremental bool
+		err         error
+	)
+	if forceFull {
+		err = sm.SaveMerged(st)
+	} else {
+		incremental, err = sm.SaveCheckpoint(st)
+	}
+	if err != nil {
 		return err
+	}
+	m.ckptMu.Lock()
+	if incremental {
+		m.ckptSinceFull++
+	} else {
+		m.ckptSinceFull = 0
+	}
+	m.ckptMu.Unlock()
+	if incremental {
+		return nil
 	}
 	return st.Compact()
 }
 
-// Save implements Miner: SaveMerged into the WithStore store, then compact
-// the write-ahead log — repeated checkpoints (farmerd -checkpoint) keep the
-// store at roughly one copy of the live state instead of growing by one
-// copy per save.
+// Save implements Miner: checkpoint into the WithStore store — incremental
+// when the dirty sets allow it, a full SaveMerged plus write-ahead-log
+// compaction otherwise — so repeated checkpoints (farmerd -checkpoint) cost
+// O(changed keys) and the store stays at roughly one copy of the live state
+// instead of growing by one copy per save.
 //
 // ctx bounds the WHOLE checkpoint, not just its start: a store write that
 // hangs (a wedged disk, an NFS stall) returns ctx's error when the deadline
@@ -274,6 +315,9 @@ func (m *LocalMiner) Save(ctx context.Context) error {
 	}
 	done := make(chan error, 1)
 	save := saveToStore // capture: the goroutine may outlive a test's seam swap
+	if save == nil {
+		save = m.checkpoint
+	}
 	go func() { done <- save(m.sm, m.store) }()
 	select {
 	case err := <-done:

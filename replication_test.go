@@ -126,8 +126,19 @@ func TestPromotionRefusedWhileLinked(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer primary.Close()
-	_, pStop := startServe(t, primary, farmer.ServeConfig{ReplicateTo: []string{fAddr}})
+	var attached sync.WaitGroup
+	attached.Add(1)
+	logf := func(format string, args ...any) {
+		if strings.Contains(format, "attached") {
+			attached.Done()
+		}
+	}
+	_, pStop := startServe(t, primary, farmer.ServeConfig{ReplicateTo: []string{fAddr}, Logf: logf})
 	defer pStop()
+	// The guard being tested holds while the primary's link is LIVE — wait
+	// out the bootstrap window (a never-attached follower is promotable by
+	// design).
+	attached.Wait()
 
 	client, err := farmer.Dial(ctx, fAddr)
 	if err != nil {

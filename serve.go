@@ -62,6 +62,14 @@ type ServeConfig struct {
 	ReplicaToken string
 	// ReplicaTLS, when non-nil, dials followers over TLS.
 	ReplicaTLS *tls.Config
+	// CatchupTail sets how many recent records the primary retains for
+	// delta catch-up: a follower that restarts holding its own on-disk
+	// checkpoint inside that tail is caught up by replaying just the
+	// records it missed (MsgCatchupDelta) instead of shipping a full
+	// snapshot — O(missed records), not O(model). 0 means the default
+	// (65536); negative disables delta catch-up. Only meaningful with
+	// ReplicateTo.
+	CatchupTail int
 	// Logf, if set, receives serve-time notices (a dropped follower, a
 	// promotion). Defaults to discarding them.
 	Logf func(format string, args ...any)
@@ -284,6 +292,43 @@ func (b *serveBackend) Catchup(conn uint64, cut rpc.CatchupCut) error {
 	return nil
 }
 
+// CatchupDelta applies one chunk of a primary's delta catch-up: replay the
+// missed records through the miner and, on the final chunk, verify the
+// primary's fingerprint against the replayed state. The source-connection
+// pinning mirrors Catchup; on any error the pin is released so the
+// primary's fallback — a full cut, usually on a fresh connection — is not
+// refused as a second primary.
+func (b *serveBackend) CatchupDelta(conn uint64, d rpc.CatchupDelta) error {
+	b.fmu.Lock()
+	if !b.follower {
+		b.fmu.Unlock()
+		return errors.New("farmer: this farmerd is not a follower (start it with -follow to accept a primary)")
+	}
+	if b.promoted {
+		b.fmu.Unlock()
+		return errors.New("farmer: promoted follower refuses a new primary (restart it to re-join as a follower)")
+	}
+	if b.srcConn != 0 && b.srcConn != conn {
+		b.fmu.Unlock()
+		return errors.New("farmer: already following a primary on another connection")
+	}
+	b.srcConn = conn
+	b.fmu.Unlock()
+	if err := b.m.applyCatchupDelta(d); err != nil {
+		b.fmu.Lock()
+		if b.srcConn == conn {
+			b.srcConn = 0
+		}
+		b.fmu.Unlock()
+		return err
+	}
+	if d.Final {
+		b.logf("caught up from primary by delta replay to position %d (%d files)",
+			d.FromPos+uint64(len(d.Records)), d.FileCount)
+	}
+	return nil
+}
+
 // replicated guards one replication-stream frame: right source connection,
 // right stream position.
 func (b *serveBackend) replicated(conn uint64, pos uint64) error {
@@ -345,6 +390,22 @@ func groupsInfo(gi ReplicaGroupsInfo) rpc.GroupsInfo {
 	return rpc.GroupsInfo{Fingerprint: gi.Fingerprint, Groups: gi.Groups, Versions: gi.Versions}
 }
 
+// defaultCatchupTail is how many recent records a primary retains for delta
+// catch-up when ServeConfig.CatchupTail is zero.
+const defaultCatchupTail = 65536
+
+// catchupTail resolves the ServeConfig.CatchupTail convention: 0 = default,
+// negative = disabled.
+func catchupTail(cfg int) int {
+	if cfg < 0 {
+		return 0
+	}
+	if cfg == 0 {
+		return defaultCatchupTail
+	}
+	return cfg
+}
+
 func (b *serveBackend) ConnClosed(conn uint64) {
 	b.fmu.Lock()
 	defer b.fmu.Unlock()
@@ -387,6 +448,9 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 			cfg.Logf("follower %s dropped from replication: %v", addr, err)
 		})
 		backend.repl.SetDialOptions(rpc.DialOptions{Token: cfg.ReplicaToken, TLS: cfg.ReplicaTLS})
+		if tail := catchupTail(cfg.CatchupTail); tail > 0 {
+			backend.repl.EnableDeltaCatchup(tail, m.catchupFingerprint)
+		}
 		defer backend.repl.Close()
 		for _, addr := range cfg.ReplicateTo {
 			if err := backend.repl.Attach(ctx, addr, m.catchupCut); err != nil {

@@ -99,6 +99,7 @@ type Registry struct {
 	replicateTo []string
 	replicaAck  time.Duration
 	replicaOpts rpc.DialOptions // token/TLS half; Tenant is stamped per tenant
+	ckptTail    int             // delta catch-up tail per tenant replicator (0 = disabled)
 
 	mu      sync.Mutex
 	tenants map[string]*tenantEntry
@@ -130,6 +131,7 @@ func newRegistry(cfg ServeConfig, saveBudget time.Duration) *Registry {
 		replicateTo: cfg.ReplicateTo,
 		replicaAck:  ack,
 		replicaOpts: rpc.DialOptions{Token: cfg.ReplicaToken, TLS: cfg.ReplicaTLS},
+		ckptTail:    catchupTail(cfg.CatchupTail),
 		tenants:     make(map[string]*tenantEntry),
 	}
 }
@@ -203,12 +205,12 @@ func (g *Registry) openLocked(tenant string) (*tenantEntry, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("farmer: creating tenant %q store dir: %w", tenant, err)
 		}
-		opts = append(opts, WithStore(filepath.Join(dir, "store.wal")))
-		if !g.follower {
-			// A follower's tenants bootstrap from the primary's catch-up
-			// cut instead (installing a cut requires a fresh miner).
-			opts = append(opts, WithLoad())
-		}
+		// Followers load too: a follower tenant's own checkpoint is what
+		// makes a delta catch-up possible — the primary replays just the
+		// records past its position. A checkpoint the primary cannot resume
+		// from simply makes it fall back to a full cut, which resets the
+		// miner before installing.
+		opts = append(opts, WithStore(filepath.Join(dir, "store.wal")), WithLoad())
 	}
 	m, err := Open(cfg, opts...)
 	if err != nil {
@@ -227,6 +229,9 @@ func (g *Registry) openLocked(tenant string) (*tenantEntry, error) {
 		do := g.replicaOpts
 		do.Tenant = tenant
 		repl.SetDialOptions(do)
+		if g.ckptTail > 0 {
+			repl.EnableDeltaCatchup(g.ckptTail, m.catchupFingerprint)
+		}
 		for _, addr := range g.replicateTo {
 			// Unlike the default tenant's startup attach, an unreachable
 			// follower here does not fail the open: the daemon is already
