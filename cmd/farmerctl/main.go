@@ -9,6 +9,7 @@
 //	farmerctl serve [flags]             serve a miner on the wire (mini farmerd)
 //	farmerctl ping  [flags]             round-trip a live farmerd and report latency
 //	farmerctl tenants [flags]           list a multi-tenant farmerd's live tenants
+//	farmerctl top   [flags]             live top-k correlated groups and ingest rates
 //
 // Experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 table3 table4 ablation
 // quality asynclat cluster all. fig3 accepts -trace (default runs all four
@@ -24,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -43,6 +45,8 @@ func main() {
 		code = runPing(args[1:])
 	case len(args) > 0 && args[0] == "tenants":
 		code = runTenants(args[1:])
+	case len(args) > 0 && args[0] == "top":
+		code = runTop(args[1:])
 	default:
 		code = runExperiments(args)
 	}
@@ -218,15 +222,166 @@ func runTenants(args []string) int {
 	if err != nil {
 		return fail("tenants", err)
 	}
-	fmt.Printf("%-24s %12s %10s %10s %12s\n", "TENANT", "FED", "FILES", "LISTS", "MEMORY")
+	// The observability frame supplies the columns the stats frame cannot:
+	// wire-level feed accounting and checkpoint health. An older farmerd
+	// that lacks MsgObs still lists — those columns just print "-".
+	obsRows := map[string]farmer.TenantObs{}
+	if rows, err := m.Obs(ctx, 0); err == nil {
+		for _, r := range rows {
+			obsRows[r.Name] = r
+		}
+	}
+	fmt.Fprintf(topOut, "%-24s %12s %10s %10s %12s %12s %10s\n",
+		"TENANT", "FED", "FILES", "LISTS", "MEMORY", "FEEDS", "CKPT-AGE")
 	for _, t := range ts {
 		name := t.Name
 		if name == "" {
 			name = "(default)"
 		}
-		fmt.Printf("%-24s %12d %10d %10d %12d\n", name, t.Stats.Fed, t.Stats.TrackedFiles, t.Stats.Lists, t.Stats.MemoryBytes)
+		fed := uint64(t.Stats.Fed)
+		mem := uint64(t.Stats.MemoryBytes)
+		feeds, ckptAge := "-", "-"
+		if r, ok := obsRows[t.Name]; ok {
+			fed, mem = r.Fed, r.MemoryBytes
+			feeds = fmt.Sprintf("%d", r.FeedRecords)
+			if r.CkptAgeMS != farmer.NeverCheckpointed {
+				ckptAge = (time.Duration(r.CkptAgeMS) * time.Millisecond).Truncate(time.Second).String()
+			}
+		}
+		fmt.Fprintf(topOut, "%-24s %12d %10d %10d %12d %12s %10s\n",
+			name, fed, t.Stats.TrackedFiles, t.Stats.Lists, mem, feeds, ckptAge)
 	}
 	return 0
+}
+
+// -------------------------------------------------------------------- top
+
+// topOut is where top and tenants write their tables — a seam so tests can
+// capture the rendered output.
+var topOut io.Writer = os.Stdout
+
+func runTop(args []string) int {
+	fs := newFlagSet("top", "live top-k correlated groups and ingest rates from a farmerd.", "[flags]")
+	addr := fs.String("addr", "127.0.0.1:4727", "farmerd TCP address")
+	k := fs.Int("k", 10, "correlated groups to show per tenant")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	iters := fs.Int("n", 0, "refreshes before exiting (0 = until interrupted)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
+	dial := dialFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return usageErr(fs, "unexpected arguments %q", fs.Args())
+	}
+	if *k < 1 {
+		return usageErr(fs, "-k %d must be >= 1", *k)
+	}
+	if *iters < 0 {
+		return usageErr(fs, "-n %d is negative", *iters)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	m, err := farmer.Dial(dctx, *addr, dial()...)
+	cancel()
+	if err != nil {
+		return fail("top", err)
+	}
+	defer m.Close()
+
+	var prev map[string]farmer.TenantObs
+	var prevAt time.Time
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		octx, ocancel := context.WithTimeout(context.Background(), *timeout)
+		rows, err := m.Obs(octx, *k)
+		ocancel()
+		if err != nil {
+			return fail("top", err)
+		}
+		now := time.Now()
+		fmt.Fprint(topOut, renderTop(*addr, rows, prev, now.Sub(prevAt)))
+		prev = make(map[string]farmer.TenantObs, len(rows))
+		for _, r := range rows {
+			prev[r.Name] = r
+		}
+		prevAt = now
+	}
+	return 0
+}
+
+// renderTop formats one refresh of the top view: a per-tenant status table
+// (ingest position and rate, footprint, tap and checkpoint health,
+// replication lag, prediction accuracy) followed by every tenant's top-k
+// correlated groups by strength. prev is the previous sample (nil on the
+// first refresh) and elapsed the time since it — together they turn the
+// monotone counters into rates.
+func renderTop(addr string, rows []farmer.TenantObs, prev map[string]farmer.TenantObs, elapsed time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "farmerd %s — %s — %d tenant(s)\n", addr, time.Now().Format("15:04:05"), len(rows))
+	fmt.Fprintf(&b, "%-16s %12s %10s %12s %8s %10s %8s %8s\n",
+		"TENANT", "FED", "RATE/S", "MEMORY", "TAP", "CKPT-AGE", "LAG", "ACC")
+	for _, r := range rows {
+		name := r.Name
+		if name == "" {
+			name = "(default)"
+		}
+		rate := "-"
+		if p, ok := prev[r.Name]; ok && elapsed > 0 && r.Fed >= p.Fed {
+			rate = fmt.Sprintf("%.0f", float64(r.Fed-p.Fed)/elapsed.Seconds())
+		}
+		tap := fmt.Sprintf("%d", r.TapDepth)
+		if r.TapDropped > 0 {
+			tap += fmt.Sprintf("!%d", r.TapDropped)
+		}
+		ckptAge := "never"
+		if r.CkptAgeMS != farmer.NeverCheckpointed {
+			ckptAge = (time.Duration(r.CkptAgeMS) * time.Millisecond).Truncate(time.Second).String()
+		}
+		lag := "-"
+		if r.Followers > 0 {
+			lag = fmt.Sprintf("%d", r.ReplLagMax)
+		}
+		acc := "-"
+		if r.PredPredicted > 0 {
+			acc = fmt.Sprintf("%.1f%%", 100*float64(r.PredHits)/float64(r.PredPredicted))
+		}
+		fmt.Fprintf(&b, "%-16s %12d %10s %12d %8s %10s %8s %8s\n",
+			name, r.Fed, rate, r.MemoryBytes, tap, ckptAge, lag, acc)
+	}
+	b.WriteString(renderGroups(rows))
+	return b.String()
+}
+
+// renderGroups formats every tenant's correlated groups, strongest first —
+// the half of the top view the correctness test pins against a local
+// model's TopGroups ranking.
+func renderGroups(rows []farmer.TenantObs) string {
+	var b strings.Builder
+	for _, r := range rows {
+		if len(r.Groups) == 0 {
+			continue
+		}
+		name := r.Name
+		if name == "" {
+			name = "(default)"
+		}
+		fmt.Fprintf(&b, "top %d groups by strength — tenant %s\n", len(r.Groups), name)
+		fmt.Fprintf(&b, "%4s %10s %10s %6s  %s\n", "#", "SEED", "STRENGTH", "SIZE", "FILES")
+		for i, g := range r.Groups {
+			files := make([]string, 0, min(len(g.Files), 8))
+			for _, f := range g.Files[:min(len(g.Files), 8)] {
+				files = append(files, fmt.Sprintf("%d", f))
+			}
+			suffix := ""
+			if len(g.Files) > 8 {
+				suffix = ",…"
+			}
+			fmt.Fprintf(&b, "%4d %10d %10.4f %6d  %s%s\n",
+				i+1, g.Seed, g.Strength, len(g.Files), strings.Join(files, ","), suffix)
+		}
+	}
+	return b.String()
 }
 
 // ------------------------------------------------------------ experiments

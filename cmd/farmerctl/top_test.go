@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"farmer"
+)
+
+func TestTopExitCodes(t *testing.T) {
+	if c := runTop([]string{"stray"}); c != 2 {
+		t.Fatalf("stray argument: exit %d, want 2", c)
+	}
+	if c := runTop([]string{"-k", "0"}); c != 2 {
+		t.Fatalf("zero k: exit %d, want 2", c)
+	}
+	if c := runTop([]string{"-n", "-1"}); c != 2 {
+		t.Fatalf("negative n: exit %d, want 2", c)
+	}
+	if c := runTop([]string{"-addr", "127.0.0.1:1", "-timeout", "500ms", "-n", "1"}); c != 1 {
+		t.Fatalf("unreachable server: exit %d, want 1", c)
+	}
+}
+
+// TestTopMatchesModelRanking replays a trace into a served miner over the
+// wire, renders `farmerctl top -n 1`, and proves the printed top-k group
+// ranking — seed, strength, and size, in order — identical to the served
+// model's own TopGroups snapshot. The wire frame and the rendering must
+// not reorder, drop, or re-round what the model mined.
+func TestTopMatchesModelRanking(t *testing.T) {
+	tr, err := farmer.Generate(farmer.HP(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := farmer.ConfigFor(tr)
+	cfg.Shards = 2
+	miner, err := farmer.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer miner.Close()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- farmer.Serve(ctx, lis, miner, farmer.ServeConfig{}) }()
+
+	addr := lis.Addr().String()
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer ccancel()
+	client, err := farmer.Dial(cctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.FeedBatch(cctx, tr.Records); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+
+	const k = 7
+	var buf bytes.Buffer
+	topOut = &buf
+	defer func() { topOut = os.Stdout }()
+	if c := runTop([]string{"-addr", addr, "-n", "1", "-k", fmt.Sprint(k)}); c != 0 {
+		t.Fatalf("top exit %d, want 0\n%s", c, buf.String())
+	}
+
+	want := miner.Sharded().TopGroups(k)
+	if len(want) == 0 {
+		t.Fatal("model mined no groups — the trace is too small for the test to mean anything")
+	}
+
+	// Parse the rendered group table back out: rank, seed, strength, size.
+	var got [][4]string
+	inGroups := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "top ") && strings.Contains(line, "groups by strength") {
+			inGroups = true
+			continue
+		}
+		if !inGroups {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 5 || f[0] == "#" {
+			continue
+		}
+		got = append(got, [4]string{f[0], f[1], f[2], f[3]})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("top printed %d groups, model snapshot has %d\n%s", len(got), len(want), buf.String())
+	}
+	for i, g := range want {
+		exp := [4]string{
+			fmt.Sprint(i + 1),
+			fmt.Sprint(g.Seed),
+			fmt.Sprintf("%.4f", g.Strength),
+			fmt.Sprint(len(g.Files)),
+		}
+		if got[i] != exp {
+			t.Fatalf("group %d: top printed %v, model snapshot %v\n%s", i, got[i], exp, buf.String())
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestRenderTopBranches drives the status-row formatting through every
+// conditional column: rates from a previous sample, tap drops, checkpoint
+// age, follower lag, prediction accuracy, and the 8-file group elision.
+func TestRenderTopBranches(t *testing.T) {
+	rows := []farmer.TenantObs{
+		{
+			Name: "", Fed: 1500, MemoryBytes: 4096, TapDepth: 2, TapDropped: 3,
+			CkptAgeMS: 61_000, Followers: 2, ReplLagMax: 17,
+			PredPredicted: 10, PredHits: 4,
+			Groups: []farmer.ObsGroup{{
+				Seed: 5, Strength: 1.5,
+				Files: []farmer.FileID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			}},
+		},
+		{Name: "idle", CkptAgeMS: farmer.NeverCheckpointed},
+	}
+	prev := map[string]farmer.TenantObs{"": {Fed: 500}}
+	out := renderTop("x:1", rows, prev, 2*time.Second)
+	for _, want := range []string{
+		"(default)",
+		" 500 ",             // (1500-500)/2s
+		"2!3",               // tap depth + drops
+		"1m1s",              // checkpoint age
+		" 17 ",              // lag with followers
+		"40.0%",             // 4/10 hits
+		"never",             // the idle tenant never checkpointed
+		"1,2,3,4,5,6,7,8,…", // 10-file group elided at 8
+		"top 1 groups by strength — tenant (default)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// No previous sample and no followers render placeholder dashes.
+	if !strings.Contains(renderTop("x:1", rows[1:], nil, 0), " - ") {
+		t.Fatal("placeholder dashes missing without prev/followers")
+	}
+}

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	farmerd [-addr host:port] [-store wal] [-load] [-repair]
+//	farmerd [-addr host:port] [-metrics-addr host:port]
+//	        [-store wal] [-load] [-repair]
 //	        [-shards N] [-partition stripe|hash|group]
 //	        [-checkpoint D] [-prefetch-k K]
 //	        [-weight P] [-strength S]
@@ -45,6 +46,13 @@
 // maps a static bearer token to the tenants it may address ("*" = all),
 // and any -auth makes authentication mandatory. -replica-token is the
 // token this primary presents when its followers run with -auth.
+//
+// With -metrics-addr, the daemon additionally serves live metrics over
+// plain HTTP on that address: GET /metrics is Prometheus text exposition
+// (ingest rate, per-shard mailbox depth and drops, per-follower replication
+// lag, checkpoint age, prediction accuracy), GET /metrics.json the same
+// samples as JSON. The same numbers travel the wire protocol as the MsgObs
+// frame behind `farmerctl top`.
 //
 // Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error.
 package main
@@ -89,6 +97,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 func run() int {
 	fs := flag.NewFlagSet("farmerd", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:4727", "TCP listen address")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP listen address for the /metrics endpoint (empty = no endpoint)")
 	storePath := fs.String("store", "", "write-ahead log path for persistent mined state (empty = volatile)")
 	load := fs.Bool("load", false, "restore persisted state from -store at startup")
 	repair := fs.Bool("repair", false, "truncate a corrupt -store log at its last intact record before opening")
@@ -128,6 +137,7 @@ func run() int {
 	logger := log.New(os.Stderr, "farmerd: ", log.LstdFlags)
 	err := daemon.Run(context.Background(), daemon.Options{
 		Addr:        *addr,
+		MetricsAddr: *metricsAddr,
 		StorePath:   *storePath,
 		Load:        *load,
 		Repair:      *repair,

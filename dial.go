@@ -564,6 +564,22 @@ func (m *RemoteMiner) Tenants(ctx context.Context) ([]TenantStatus, error) {
 	return out, err
 }
 
+// Obs fetches one observability row per tenant live on the server —
+// footprint, tap and checkpoint health, replication lag, prediction
+// accuracy, and each tenant's topK strongest correlated groups — the read
+// behind `farmerctl top` and the extended `farmerctl tenants` columns.
+// Against a server with auth enabled, the rows are filtered to the tenants
+// this client's token is granted.
+func (m *RemoteMiner) Obs(ctx context.Context, topK int) ([]TenantObs, error) {
+	var out []TenantObs
+	err := m.do(ctx, true, func(c *rpc.Client) error {
+		var err error
+		out, err = c.Obs(ctx, topK)
+		return err
+	})
+	return out, err
+}
+
 // Close drains outstanding calls and closes the connection. Idempotent.
 func (m *RemoteMiner) Close() error {
 	m.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strings"
 
 	"farmer"
 )
@@ -297,4 +298,58 @@ func ExampleMiner() {
 	// hottest works unchanged against a farmer.Dial client.
 	fmt.Println("correlated with 4:", hottest(local, 4))
 	// Output: correlated with 4: [5 6]
+}
+
+// ExampleServe_metrics attaches a metrics registry to a served miner and
+// renders it in Prometheus text format — what a farmerd started with
+// -metrics-addr serves from its /metrics endpoint. Every series is sampled
+// at scrape time from state the miner already maintains, so the ingest hot
+// path pays nothing for the instrumentation.
+func ExampleServe_metrics() {
+	server, err := farmer.Open(farmer.DefaultConfig(), farmer.WithShards(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := farmer.NewMetricsRegistry()
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- farmer.Serve(ctx, lis, server, farmer.ServeConfig{Obs: reg})
+	}()
+
+	client, err := farmer.Dial(context.Background(), lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.FeedBatch(context.Background(), sequence(1, 2, 3)); err != nil {
+		log.Fatal(err)
+	}
+	client.Close()
+
+	// A /metrics handler is one line: reg.WritePrometheus(w). Pick two
+	// stable series out of the scrape for the example.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "farmer_ingest_records_total ") ||
+			strings.HasPrefix(line, "farmer_shard_mailbox_depth") {
+			fmt.Println(line)
+		}
+	}
+
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	server.Close()
+	// Output:
+	// farmer_ingest_records_total 36
+	// farmer_shard_mailbox_depth{shard="0"} 0
+	// farmer_shard_mailbox_depth{shard="1"} 0
 }

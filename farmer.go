@@ -43,6 +43,7 @@ import (
 	"farmer/internal/core"
 	"farmer/internal/graph"
 	"farmer/internal/kvstore"
+	"farmer/internal/obs"
 	"farmer/internal/partition"
 	"farmer/internal/prefetch"
 	"farmer/internal/rpc"
@@ -210,6 +211,40 @@ func NewClusterMiner(cfg Config, servers int, part Partitioner) *ShardedModel {
 	}
 	return m.Sharded()
 }
+
+// Observability layer, re-exported. A MetricsRegistry collects live
+// counters, gauges and histograms from every hot layer (ingest, taps,
+// replication, checkpoints, prediction) at zero hot-path cost; attach one
+// to a miner with WithObs (or AttachMetrics) and to a server with
+// ServeConfig.Obs, then render it with WritePrometheus/WriteJSON — the
+// body of farmerd's -metrics-addr endpoint.
+type (
+	// MetricsRegistry is the live-metrics registry (internal/obs).
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one name=value pair on a metric series.
+	MetricLabel = obs.Label
+	// MetricSample is one flattened value from MetricsRegistry.Snapshot.
+	MetricSample = obs.Sample
+	// CorrelatedGroup is one correlated file group: a seed, its Correlator
+	// List members, and the group strength (sum of degrees).
+	CorrelatedGroup = core.CorrelatedGroup
+	// TenantObs is one tenant's row of a MsgObs response: footprint, tap
+	// and checkpoint health, replication lag, prediction accuracy, and the
+	// top-k correlated groups. Collected remotely with RemoteMiner.Obs and
+	// rendered by farmerctl top / tenants.
+	TenantObs = rpc.TenantObs
+	// ObsGroup is one correlated group inside a TenantObs row.
+	ObsGroup = rpc.ObsGroup
+	// FollowerLag is one replication follower's acked position and lag.
+	FollowerLag = rpc.FollowerLag
+)
+
+// NeverCheckpointed is TenantObs.CkptAgeMS's sentinel for a miner that has
+// never completed a checkpoint.
+const NeverCheckpointed = rpc.NeverCheckpointed
+
+// NewMetricsRegistry returns an empty live-metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
 
 // Semantic attribute machinery, re-exported.
 type (

@@ -166,3 +166,14 @@ func BenchmarkCacheAccessParallel(b *testing.B) {
 		})
 	})
 }
+
+func TestStripedContains(t *testing.T) {
+	c := NewStripedLRU(64, 4)
+	if c.Contains(9) {
+		t.Fatal("empty cache contains 9")
+	}
+	c.Access(9)
+	if !c.Contains(9) {
+		t.Fatal("cache lost 9 right after access")
+	}
+}

@@ -390,7 +390,48 @@ func (s *ShardedModel) Stats() Stats {
 		out.MemoryBytes += st.MemoryBytes
 	}
 	out.Fed = s.disp.Dispatched()
+	for _, sh := range s.ShardObs() {
+		out.TapDepth += sh.MailboxDepth
+		out.TapDropped += sh.Dropped
+	}
 	return out
+}
+
+// ShardStat is one shard's live observability sample: how deep its tap
+// mailboxes currently are and how many tap events it has dropped, summed
+// over every registered tap.
+type ShardStat struct {
+	MailboxDepth int    // events queued on this shard's tap channels right now
+	Dropped      uint64 // tap events discarded because consumers lagged
+}
+
+// ShardObs samples every shard's tap mailbox depth and drop count — the
+// public view of the padded per-shard counters. With no taps registered
+// all samples are zero. Values are individually atomic snapshots; the
+// slice as a whole is not a consistent cut (that is fine for monitoring).
+func (s *ShardedModel) ShardObs() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	if s.tapCount.Load() == 0 {
+		return out
+	}
+	s.tmu.RLock()
+	for _, t := range s.taps {
+		for i := range out {
+			out[i].MailboxDepth += len(t.chans[i])
+			out[i].Dropped += t.dropped[i].Load()
+		}
+	}
+	s.tmu.RUnlock()
+	return out
+}
+
+// SaveEpoch reports the checkpoint epoch the ensemble is bound to — the
+// counter the m/epoch protocol bumps on every completed save (0 = never
+// checkpointed or unbound).
+func (s *ShardedModel) SaveEpoch() uint64 {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.saveEpoch
 }
 
 // Shard exposes one partition's Model (tests, persistence experiments).

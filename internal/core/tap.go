@@ -134,6 +134,20 @@ func (t *EventTap) Dropped() uint64 {
 // DroppedShard reports the drop count of a single shard's channel.
 func (t *EventTap) DroppedShard(shard int) uint64 { return t.dropped[shard].Load() }
 
+// Depth reports how many events are currently queued on one shard's
+// channel — the tap's per-shard mailbox depth. Safe concurrently with
+// ingestion and consumption; the value is naturally racy (a snapshot).
+func (t *EventTap) Depth(shard int) int { return len(t.chans[shard]) }
+
+// Depths returns the current queue depth of every shard channel.
+func (t *EventTap) Depths() []int {
+	out := make([]int, len(t.chans))
+	for i := range t.chans {
+		out[i] = len(t.chans[i])
+	}
+	return out
+}
+
 // Close unregisters the tap and closes its channels. In-flight events
 // remain readable until each channel drains; consumers ranging over the
 // channels terminate naturally. Close is idempotent and safe to call while

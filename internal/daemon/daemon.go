@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +28,7 @@ var ErrUsage = errors.New("usage error")
 // off; Weight/Strength zero means the paper default.
 type Options struct {
 	Addr        string        // TCP listen address (required)
+	MetricsAddr string        // HTTP metrics listen address ("" = no endpoint)
 	StorePath   string        // WAL path; "" = volatile miner
 	Load        bool          // restore persisted state at startup (needs StorePath)
 	Repair      bool          // truncate a corrupt WAL before opening (needs StorePath)
@@ -220,6 +222,32 @@ func Run(ctx context.Context, o Options) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
+
+	// The metrics endpoint is plain HTTP on its own listener — operators
+	// point Prometheus (or curl) at it without speaking the wire protocol,
+	// and it stays readable while the protocol port is TLS/auth-gated.
+	var obsReg *farmer.MetricsRegistry
+	if o.MetricsAddr != "" {
+		obsReg = farmer.NewMetricsRegistry()
+		mlis, err := net.Listen("tcp", o.MetricsAddr)
+		if err != nil {
+			lis.Close()
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = obsReg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = obsReg.WriteJSON(w)
+		})
+		msrv := &http.Server{Handler: mux}
+		go func() { _ = msrv.Serve(mlis) }()
+		defer msrv.Close()
+		logf("metrics endpoint on http://%s/metrics", mlis.Addr())
+	}
 	role := "standalone"
 	switch {
 	case o.Follow:
@@ -261,6 +289,7 @@ func Run(ctx context.Context, o Options) error {
 		TLS:          tlsCfg,
 		AuthTokens:   authTokens,
 		Tenants:      tenantsCfg,
+		Obs:          obsReg,
 		Logf:         logf,
 	})
 	if pf := miner.Prefetcher(); pf != nil {

@@ -181,6 +181,66 @@ type Stats struct {
 	Predicted    uint64 // candidates produced by Predict
 	Submitted    uint64 // candidates delivered to the sink
 	QueueDropped uint64 // candidates evicted from the bounded queue
+	Hits         uint64 // predictions later confirmed by an ingest event
+}
+
+// Accuracy is the observed prediction hit rate: the fraction of issued
+// predictions whose file was accessed (ingested) while still inside the
+// pipeline's recently-predicted window. 0 when nothing was predicted.
+func (s Stats) Accuracy() float64 {
+	if s.Predicted == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Predicted)
+}
+
+// hitWindow bounds the recently-predicted set the hit/accuracy accounting
+// checks ingest events against: a prediction counts as a hit only if its
+// file is accessed before hitWindow newer predictions evict it — a rolling
+// stand-in for "was the prefetch still resident when the access came".
+const hitWindow = 4096
+
+// hitTracker is the bounded recently-predicted set. One small mutex-guarded
+// map+ring shared by all shard consumers: a predicted file's later access
+// event arrives on the file's own shard, not the predicting trigger's, so
+// the set cannot be per-consumer. The lock is leaf and the critical
+// sections are O(1); consumers are off the demand path by construction.
+type hitTracker struct {
+	mu   sync.Mutex
+	set  map[trace.FileID]struct{}
+	ring [hitWindow]trace.FileID
+	n    int // ring entries written (head = n % hitWindow)
+}
+
+// add records a fresh prediction, evicting the oldest once the window is
+// full. Duplicate predictions keep one set entry (the ring may hold stale
+// slots; eviction of an already-hit file is a no-op).
+func (h *hitTracker) add(f trace.FileID) {
+	h.mu.Lock()
+	if h.set == nil {
+		h.set = make(map[trace.FileID]struct{}, hitWindow)
+	}
+	if _, dup := h.set[f]; !dup {
+		if h.n >= hitWindow {
+			delete(h.set, h.ring[h.n%hitWindow])
+		}
+		h.ring[h.n%hitWindow] = f
+		h.n++
+		h.set[f] = struct{}{}
+	}
+	h.mu.Unlock()
+}
+
+// take reports whether f was recently predicted, consuming the entry (one
+// access confirms one prediction).
+func (h *hitTracker) take(f trace.FileID) bool {
+	h.mu.Lock()
+	_, ok := h.set[f]
+	if ok {
+		delete(h.set, f)
+	}
+	h.mu.Unlock()
+	return ok
 }
 
 // Pipeline is the running async prefetcher: per-shard consumer goroutines
@@ -202,6 +262,8 @@ type Pipeline struct {
 	events    atomic.Uint64
 	predicted atomic.Uint64
 	submitted atomic.Uint64
+	hits      atomic.Uint64
+	ht        hitTracker
 }
 
 // Start taps the model and launches the pipeline: one consumer goroutine
@@ -235,8 +297,15 @@ func (p *Pipeline) consume(shard int) {
 	defer p.consumers.Done()
 	for ev := range p.tap.Chan(shard) {
 		p.events.Add(1)
+		// Hit accounting first: this access confirms (at most) one earlier
+		// prediction of the same file, before this event's own predictions
+		// enter the window.
+		if p.ht.take(ev.File) {
+			p.hits.Add(1)
+		}
 		for _, f := range p.pred.Predict(ev.File, p.cfg.K) {
 			p.predicted.Add(1)
+			p.ht.add(f)
 			p.q.Push(Candidate{Trigger: ev.File, File: f, Seq: ev.Seq})
 		}
 	}
@@ -274,5 +343,6 @@ func (p *Pipeline) Stats() Stats {
 		Predicted:    p.predicted.Load(),
 		Submitted:    p.submitted.Load(),
 		QueueDropped: p.q.Dropped(),
+		Hits:         p.hits.Load(),
 	}
 }

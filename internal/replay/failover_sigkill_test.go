@@ -25,9 +25,10 @@ import (
 
 // farmerdProc is one farmerd child process.
 type farmerdProc struct {
-	cmd  *exec.Cmd
-	addr string
-	done chan error
+	cmd         *exec.Cmd
+	addr        string
+	metricsAddr string // set when launched with -metrics-addr
+	done        chan error
 }
 
 // startFarmerdProc launches a farmerd child and waits for its "serving on"
@@ -44,6 +45,7 @@ func startFarmerdProc(t *testing.T, bin string, args ...string) *farmerdProc {
 	}
 	p := &farmerdProc{cmd: cmd, done: make(chan error, 1)}
 	addrCh := make(chan string, 1)
+	metricsCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
@@ -57,6 +59,17 @@ func startFarmerdProc(t *testing.T, bin string, args ...string) *farmerdProc {
 					}
 				}
 			}
+			// The metrics endpoint is announced before "serving on", so the
+			// buffered send below is always drained by the time addr arrives.
+			if i := strings.Index(line, "metrics endpoint on http://"); i >= 0 {
+				rest := line[i+len("metrics endpoint on http://"):]
+				if j := strings.Index(rest, "/"); j > 0 {
+					select {
+					case metricsCh <- rest[:j]:
+					default:
+					}
+				}
+			}
 			t.Logf("[%s] %s", filepath.Base(cmd.Path), line)
 		}
 		io.Copy(io.Discard, stderr)
@@ -64,6 +77,10 @@ func startFarmerdProc(t *testing.T, bin string, args ...string) *farmerdProc {
 	go func() { p.done <- cmd.Wait() }()
 	select {
 	case p.addr = <-addrCh:
+		select {
+		case p.metricsAddr = <-metricsCh:
+		default:
+		}
 	case err := <-p.done:
 		t.Fatalf("farmerd exited before serving: %v", err)
 	case <-time.After(20 * time.Second):

@@ -530,6 +530,17 @@ func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
 	return decodeTenantInfos(body)
 }
 
+// Obs asks the server for its live observability rows — one per tenant the
+// connection may see, each with up to topK correlation groups (0 = rows
+// only). Control-plane, like Tenants.
+func (c *Client) Obs(ctx context.Context, topK int) ([]TenantObs, error) {
+	body, err := c.call(ctx, MsgObs, appendObsReq(nil, topK))
+	if err != nil {
+		return nil, err
+	}
+	return decodeTenantObs(body)
+}
+
 // Close drains gracefully: no new calls are accepted, outstanding responses
 // are awaited briefly, then the connection closes. Idempotent.
 func (c *Client) Close() error {

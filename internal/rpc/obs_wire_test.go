@@ -1,0 +1,65 @@
+package rpc
+
+import (
+	"reflect"
+	"testing"
+
+	"farmer/internal/trace"
+)
+
+func TestObsReqRoundTrip(t *testing.T) {
+	for _, k := range []int{0, 1, 10, 1 << 20} {
+		got, err := decodeObsReq(appendObsReq(nil, k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("k round-tripped %d -> %d", k, got)
+		}
+	}
+	if _, err := decodeObsReq([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short obs request decoded")
+	}
+	if _, err := decodeObsReq([]byte{0, 0, 0, 0, 0xff}); err == nil {
+		t.Fatal("unknown flag bits decoded")
+	}
+}
+
+func TestTenantObsRoundTrip(t *testing.T) {
+	rows := []TenantObs{
+		{
+			Name: "", Fed: 1, MemoryBytes: 2, TapDepth: 3, TapDropped: 4,
+			FeedRecords: 5, FeedFrames: 6, ReplLagMax: 7, Followers: 8,
+			CkptAgeMS: NeverCheckpointed, CkptEpoch: 10, CkptFull: 11,
+			CkptDelta: 12, PredPredicted: 13, PredHits: 14,
+		},
+		{
+			Name: "alpha", Fed: 1 << 40,
+			Groups: []ObsGroup{
+				{Seed: 9, Strength: 3.25, Files: []trace.FileID{10, 11, 12}},
+				{Seed: 2, Strength: 0.5},
+			},
+		},
+		{Name: "beta"},
+	}
+	got, err := decodeTenantObs(appendTenantObs(nil, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, rows)
+	}
+}
+
+func TestTenantObsTruncationRefused(t *testing.T) {
+	full := appendTenantObs(nil, []TenantObs{{
+		Name: "alpha", Fed: 7,
+		Groups: []ObsGroup{{Seed: 1, Strength: 2, Files: []trace.FileID{3, 4}}},
+	}})
+	// Every proper prefix must decode as an error, never panic or succeed.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeTenantObs(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(full))
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"farmer/internal/trace"
@@ -54,6 +55,47 @@ type Replicator struct {
 type replFollower struct {
 	addr string
 	c    *Client
+	// acked is the highest stream position this follower has acknowledged —
+	// the subtrahend of the lag gauge (primary pos − acked pos). Updated by
+	// whatever goroutine collects the ack, monotonically (awaits from
+	// concurrent Ingest calls may observe acks out of order).
+	acked atomic.Uint64
+}
+
+// ackTo raises the follower's acked position to pos (never lowers it).
+func (f *replFollower) ackTo(pos uint64) {
+	for {
+		cur := f.acked.Load()
+		if pos <= cur || f.acked.CompareAndSwap(cur, pos) {
+			return
+		}
+	}
+}
+
+// FollowerLag is one attached follower's replication progress: the highest
+// stream position it acked and how many records it trails the primary by.
+// A caught-up follower reports Lag 0.
+type FollowerLag struct {
+	Addr  string
+	Acked uint64
+	Lag   uint64
+}
+
+// Lags samples every attached follower's replication lag — the read behind
+// the farmer_repl_lag_records gauge and the MsgObs ReplLagMax field.
+func (r *Replicator) Lags() []FollowerLag {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FollowerLag, len(r.followers))
+	for i, f := range r.followers {
+		acked := f.acked.Load()
+		var lag uint64
+		if r.pos > acked {
+			lag = r.pos - acked
+		}
+		out[i] = FollowerLag{Addr: f.addr, Acked: acked, Lag: lag}
+	}
+	return out
 }
 
 // NewReplicator creates a replicator whose stream starts at pos (the
@@ -211,6 +253,9 @@ func (r *Replicator) Attach(ctx context.Context, addr string, cut func() (Catchu
 			return fmt.Errorf("rpc: follower %s refused catch-up: %w", addr, err)
 		}
 	}
+	// The verified cut is the follower's first acked position; stream
+	// frames enqueued behind the catch-up raise it from here.
+	f.ackTo(cc.Pos)
 	return nil
 }
 
@@ -277,6 +322,7 @@ func (r *Replicator) attachDelta(ctx context.Context, addr string, c *Client) (d
 	}
 	f := &replFollower{addr: addr, c: c}
 	r.followers = append(r.followers, f)
+	endPos := r.pos
 	r.mu.Unlock()
 
 	for _, p := range pendings {
@@ -287,6 +333,8 @@ func (r *Replicator) attachDelta(ctx context.Context, addr string, c *Client) (d
 			return false, true, nil
 		}
 	}
+	// The replay the follower just verified ends at the cut position.
+	f.ackTo(endPos)
 	return true, true, nil
 }
 
@@ -324,7 +372,7 @@ func (r *Replicator) Ingest(ctx context.Context, recs []trace.Record, mine func(
 			body = appendReplicateRecords(nil, r.pos, recs)
 		}
 		return body
-	})
+	}, r.pos+uint64(len(recs)))
 	if r.deltaFp != nil {
 		// Extend the catch-up tail. Trimming by reslice leaves the backing
 		// array to append's usual reallocation; memory stays within a small
@@ -357,7 +405,7 @@ func (r *Replicator) Groups(ctx context.Context, req GroupsReq, run func() error
 			body = appendReplicateGroups(nil, r.pos, &req)
 		}
 		return body
-	})
+	}, r.pos)
 	if r.deltaFp != nil {
 		// A group cut is a command, not records: a follower resuming from
 		// before it would replay the records but silently miss the cut, so
@@ -371,13 +419,15 @@ func (r *Replicator) Groups(ctx context.Context, req GroupsReq, run func() error
 }
 
 type replWait struct {
-	f *replFollower
-	p *pending
+	f   *replFollower
+	p   *pending
+	pos uint64 // stream position after the frame applies (the ack's meaning)
 }
 
-// enqueueLocked starts one frame toward every follower, holding r.mu.
-// Followers whose connection refuses the enqueue are detached immediately.
-func (r *Replicator) enqueueLocked(body func() []byte) []replWait {
+// enqueueLocked starts one frame toward every follower, holding r.mu. post
+// is the stream position the frame's ack will attest to. Followers whose
+// connection refuses the enqueue are detached immediately.
+func (r *Replicator) enqueueLocked(body func() []byte, post uint64) []replWait {
 	waits := make([]replWait, 0, len(r.followers))
 	for i := 0; i < len(r.followers); i++ {
 		f := r.followers[i]
@@ -388,7 +438,7 @@ func (r *Replicator) enqueueLocked(body func() []byte) []replWait {
 			go r.report(f, err)
 			continue
 		}
-		waits = append(waits, replWait{f, p})
+		waits = append(waits, replWait{f, p, post})
 	}
 	return waits
 }
@@ -408,7 +458,9 @@ func (r *Replicator) await(ctx context.Context, waits []replWait) {
 				err = fmt.Errorf("no ack within %v (follower wedged?): %w", r.ackTimeout, err)
 			}
 			r.detach(w.f, err)
+			continue
 		}
+		w.f.ackTo(w.pos)
 	}
 }
 

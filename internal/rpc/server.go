@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"farmer/internal/core"
+	"farmer/internal/obs"
 	"farmer/internal/partition"
 	"farmer/internal/trace"
 )
@@ -55,6 +56,20 @@ type ReplicaBackend interface {
 	ConnClosed(conn uint64)
 }
 
+// ObsResolver is the optional resolver surface behind MsgObs: one live
+// observability row per tenant, each carrying up to topK correlation
+// groups. The rpc layer stamps the FeedRecords/FeedFrames fields from its
+// own per-tenant counters after the resolver builds the rows.
+type ObsResolver interface {
+	TenantObs(topK int) []TenantObs
+}
+
+// ObsBackend is the per-backend counterpart: a Backend that can report its
+// own observability row (SingleTenant uses it to satisfy ObsResolver).
+type ObsBackend interface {
+	TenantObs(topK int) TenantObs
+}
+
 // Resolver maps a frame's tenant id to the backend serving that tenant —
 // the seam between the tenant-agnostic wire layer and farmer's registry.
 // BackendFor may create the tenant lazily; it returns an error wrapping
@@ -82,6 +97,22 @@ func (s singleResolver) Tenants() []TenantInfo {
 	return []TenantInfo{{Name: "", Stats: s.b.Stats()}}
 }
 
+func (s singleResolver) TenantObs(topK int) []TenantObs {
+	if ob, ok := s.b.(ObsBackend); ok {
+		row := ob.TenantObs(topK)
+		row.Name = ""
+		return []TenantObs{row}
+	}
+	st := s.b.Stats()
+	return []TenantObs{{
+		Fed:         st.Fed,
+		MemoryBytes: uint64(st.MemoryBytes),
+		TapDepth:    uint64(st.TapDepth),
+		TapDropped:  st.TapDropped,
+		CkptAgeMS:   NeverCheckpointed,
+	}}
+}
+
 // SingleTenant wraps one backend as a Resolver serving only the default
 // tenant — what NewServer uses, and the composition for deployments that
 // never name tenants.
@@ -95,6 +126,22 @@ type ServerOptions struct {
 	// hello mandatory — any other frame before a successful hello is
 	// refused with CodeUnauthorized, before tenant dispatch.
 	AuthTokens map[string][]string
+
+	// Obs, when set, registers the server's wire-level metrics into the
+	// registry: frames/bytes in and out, and per-tenant feed counts. The
+	// server counts feeds regardless (MsgObs reports them either way);
+	// the registry only adds the /metrics view.
+	Obs *obs.Registry
+}
+
+// feedCounters is one tenant's wire-level feed accounting: how many
+// Feed/FeedBatch frames this server handled for it and how many records
+// they carried. Always maintained (MsgObs rows need the numbers whether or
+// not a metrics registry is attached); the counters are padded atomics, so
+// the hot feed path pays two uncontended adds.
+type feedCounters struct {
+	frames  obs.Counter
+	records obs.Counter
 }
 
 // Server serves the FARMER wire protocol over a listener. One goroutine per
@@ -107,6 +154,15 @@ type Server struct {
 	authAll  map[string]bool            // tokens allowed every tenant ("*")
 
 	connSeq atomic.Uint64
+
+	// Wire-level observability. The three totals are nil-safe no-ops when no
+	// registry is attached; feeds (tenant -> *feedCounters) is always live.
+	obsFramesIn  *obs.Counter
+	obsBytesIn   *obs.Counter
+	obsBytesOut  *obs.Counter
+	obsConns     *obs.Counter
+	feeds        sync.Map
+	feedTenantMu sync.Mutex // serializes feedCounters creation (cold path)
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -143,7 +199,51 @@ func NewResolverServer(r Resolver, opts ServerOptions) *Server {
 			s.auth[tok] = set
 		}
 	}
+	if reg := opts.Obs; reg != nil {
+		s.obsFramesIn = reg.Counter("farmer_rpc_frames_total")
+		s.obsBytesIn = reg.Counter("farmer_rpc_bytes_read_total")
+		s.obsBytesOut = reg.Counter("farmer_rpc_bytes_written_total")
+		s.obsConns = reg.Counter("farmer_rpc_connections_total")
+		reg.CounterEach("farmer_rpc_tenant_feed_records_total", func(emit obs.EmitFunc) {
+			s.feeds.Range(func(k, v any) bool {
+				emit([]obs.Label{obs.L("tenant", tenantLabel(k.(string)))}, float64(v.(*feedCounters).records.Load()))
+				return true
+			})
+		})
+		reg.CounterEach("farmer_rpc_tenant_feed_frames_total", func(emit obs.EmitFunc) {
+			s.feeds.Range(func(k, v any) bool {
+				emit([]obs.Label{obs.L("tenant", tenantLabel(k.(string)))}, float64(v.(*feedCounters).frames.Load()))
+				return true
+			})
+		})
+	}
 	return s
+}
+
+// tenantLabel names the default tenant in metric labels.
+func tenantLabel(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+// feedCountersFor returns the tenant's wire-level feed counters, creating
+// them on first use. The double-checked map keeps the steady state at one
+// lock-free sync.Map load; connState additionally caches the result per
+// connection, so a bound connection never re-resolves.
+func (s *Server) feedCountersFor(tenant string) *feedCounters {
+	if v, ok := s.feeds.Load(tenant); ok {
+		return v.(*feedCounters)
+	}
+	s.feedTenantMu.Lock()
+	defer s.feedTenantMu.Unlock()
+	if v, ok := s.feeds.Load(tenant); ok {
+		return v.(*feedCounters)
+	}
+	fc := &feedCounters{}
+	s.feeds.Store(tenant, fc)
+	return fc
 }
 
 // Serve accepts connections on lis until Shutdown (or a listener error) and
@@ -253,10 +353,26 @@ type connState struct {
 
 	catchup  map[string][]byte         // tenant -> accumulating snapshot
 	replicas map[string]ReplicaBackend // tenants whose replica surface this conn touched
+
+	// Per-connection cache of the last fed tenant's feed counters, so the
+	// hot feed path resolves the sync.Map only when the tenant changes.
+	feedTenant string
+	feedCtrs   *feedCounters
+}
+
+// feedCtrsFor returns the frame's tenant's feed counters through the
+// connection-local cache.
+func (s *Server) feedCtrsFor(cs *connState, tenant string) *feedCounters {
+	if cs.feedCtrs == nil || cs.feedTenant != tenant {
+		cs.feedCtrs = s.feedCountersFor(tenant)
+		cs.feedTenant = tenant
+	}
+	return cs.feedCtrs
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.removeConn(conn)
+	s.obsConns.Inc()
 	cs := &connState{id: s.connSeq.Add(1), authed: s.auth == nil}
 	// Each touched tenant's backend learns the source link died even on an
 	// abrupt drop — that notification is what clears a follower's primary
@@ -289,7 +405,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			bw.Flush()
 			return
 		}
+		s.obsFramesIn.Inc()
+		s.obsBytesIn.Add(uint64(4 + frameHeaderMin + len(f.Tenant) + len(f.Body)))
 		out = s.handle(out[:0], cs, &f)
+		s.obsBytesOut.Add(uint64(len(out)))
 		if _, err := bw.Write(out); err != nil {
 			return
 		}
@@ -369,6 +488,38 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		}
 		return ok(appendTenantInfos(nil, infos))
 	}
+	if f.Type == MsgObs {
+		// Control-plane like MsgTenants: not addressed to one tenant, and a
+		// restricted token's listing is filtered to its grant.
+		topK, err := decodeObsReq(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		or, okObs := s.resolver.(ObsResolver)
+		if !okObs {
+			return fail(CodeUnsupported, errors.New("rpc: resolver does not support observability"))
+		}
+		rows := or.TenantObs(topK)
+		if cs.allowed != nil && !cs.all {
+			vis := rows[:0]
+			for _, r := range rows {
+				if cs.allowed[r.Name] {
+					vis = append(vis, r)
+				}
+			}
+			rows = vis
+		}
+		// The wire layer owns the feed-frame accounting: stamp it on the
+		// rows the resolver built.
+		for i := range rows {
+			if v, found := s.feeds.Load(rows[i].Name); found {
+				fc := v.(*feedCounters)
+				rows[i].FeedRecords = fc.records.Load()
+				rows[i].FeedFrames = fc.frames.Load()
+			}
+		}
+		return ok(appendTenantObs(nil, rows))
+	}
 	if !cs.all && cs.allowed != nil && !cs.allowed[f.Tenant] {
 		return fail(CodeUnauthorized, fmt.Errorf("rpc: token not authorized for tenant %q", f.Tenant))
 	}
@@ -407,6 +558,9 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		if err := b.Feed(&r); err != nil {
 			return backendErr(err)
 		}
+		fc := s.feedCtrsFor(cs, f.Tenant)
+		fc.frames.Inc()
+		fc.records.Inc()
 		return ok(nil)
 	case MsgFeedBatch:
 		recs, err := consumeRecords(f.Body)
@@ -416,6 +570,9 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 		if err := b.FeedBatch(recs); err != nil {
 			return backendErr(err)
 		}
+		fc := s.feedCtrsFor(cs, f.Tenant)
+		fc.frames.Inc()
+		fc.records.Add(uint64(len(recs)))
 		return ok(nil)
 	case MsgPredict:
 		file, k, err := decodePredictReq(f.Body)

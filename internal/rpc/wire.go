@@ -143,6 +143,16 @@ const (
 	// CodeUnsupported, and the primary falls back to the full snapshot path.
 	MsgCatchupDelta
 
+	// MsgObs is the live-observability read behind `farmerctl top` and the
+	// per-tenant columns of `farmerctl tenants`: request `u32 k, u8 flags`
+	// (k = how many top correlation groups per tenant, 0 = none; flags
+	// reserved), response a TenantObs list. Like MsgTenants it is
+	// control-plane — not addressed to one tenant — and the listing is
+	// filtered to the connection's granted tenants. (The name MsgStats was
+	// already taken by the v0 single-miner stats frame; MsgObs is its
+	// fleet-wide, per-tenant successor.)
+	MsgObs
+
 	// Response frames.
 	MsgOK  MsgType = 0x40
 	MsgErr MsgType = 0x41
@@ -862,6 +872,155 @@ func decodeTenantInfos(b []byte) ([]TenantInfo, error) {
 		return nil, fmt.Errorf("rpc: %d trailing bytes after tenants", len(b))
 	}
 	return infos, nil
+}
+
+// ------------------------------------------------------- observability bodies
+
+// NeverCheckpointed is the CkptAgeMS value of a tenant that has never
+// completed a checkpoint (or runs memory-only).
+const NeverCheckpointed = ^uint64(0)
+
+// ObsGroup is one correlation group in a TenantObs row: the seed file, its
+// correlated members (strongest first), and the group strength (sum of the
+// seed's Correlator-List degrees) — the paper's §4 artifacts, live.
+type ObsGroup struct {
+	Seed     trace.FileID
+	Strength float64
+	Files    []trace.FileID
+}
+
+// TenantObs is one tenant's live-observability row in a MsgObs response.
+// FeedRecords/FeedFrames count what arrived over this server's wire (the
+// rpc layer stamps them); everything else comes from the tenant's backend.
+type TenantObs struct {
+	Name          string
+	Fed           uint64 // records mined (the model's stream position)
+	MemoryBytes   uint64 // estimated correlation-state footprint
+	TapDepth      uint64 // events queued on tap mailboxes right now
+	TapDropped    uint64 // tap events dropped to lagging consumers
+	FeedRecords   uint64 // records arrived via Feed/FeedBatch frames
+	FeedFrames    uint64 // Feed/FeedBatch frames handled
+	ReplLagMax    uint64 // worst follower lag in records (0 = caught up or none)
+	Followers     uint64 // live replication followers
+	CkptAgeMS     uint64 // ms since the last completed checkpoint; NeverCheckpointed if none
+	CkptEpoch     uint64 // checkpoint epoch (m/epoch protocol)
+	CkptFull      uint64 // full checkpoints completed
+	CkptDelta     uint64 // incremental checkpoints completed
+	PredPredicted uint64 // prefetch predictions issued
+	PredHits      uint64 // predictions later confirmed by an access
+	Groups        []ObsGroup
+}
+
+// tenantObsU64s is the fixed per-row section: the TenantObs uint64 fields
+// in declaration order.
+const tenantObsU64s = 14
+
+// MsgObs request body: u32 k, u8 flags (must be 0).
+func appendObsReq(dst []byte, k int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(k))
+	return append(dst, 0)
+}
+
+func decodeObsReq(b []byte) (int, error) {
+	if len(b) != 5 {
+		return 0, fmt.Errorf("rpc: obs body is %d bytes, want 5", len(b))
+	}
+	if b[4] != 0 {
+		return 0, fmt.Errorf("rpc: obs request: unknown flag bits %#x", b[4])
+	}
+	return int(int32(binary.LittleEndian.Uint32(b[:4]))), nil
+}
+
+// MsgObs response body: u32 tenantCount, then per tenant u8 nameLen, name,
+// 14 u64 fields (declaration order), u32 groupCount, and per group
+// u32 seed, u64 strength bits, u32 fileCount, u32 files.
+func appendTenantObs(dst []byte, rows []TenantObs) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(len(rows)))
+	for i := range rows {
+		r := &rows[i]
+		dst = append(dst, byte(len(r.Name)))
+		dst = append(dst, r.Name...)
+		for _, v := range [tenantObsU64s]uint64{
+			r.Fed, r.MemoryBytes, r.TapDepth, r.TapDropped,
+			r.FeedRecords, r.FeedFrames, r.ReplLagMax, r.Followers,
+			r.CkptAgeMS, r.CkptEpoch, r.CkptFull, r.CkptDelta,
+			r.PredPredicted, r.PredHits,
+		} {
+			dst = le.AppendUint64(dst, v)
+		}
+		dst = le.AppendUint32(dst, uint32(len(r.Groups)))
+		for _, g := range r.Groups {
+			dst = le.AppendUint32(dst, uint32(g.Seed))
+			dst = le.AppendUint64(dst, f64bits(g.Strength))
+			dst = appendFileIDs(dst, g.Files)
+		}
+	}
+	return dst
+}
+
+func decodeTenantObs(b []byte) ([]TenantObs, error) {
+	n, b, err := consumeCount(b, 1+tenantObsU64s*8+4)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	rows := make([]TenantObs, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("rpc: obs row %d truncated", i)
+		}
+		nl := int(b[0])
+		b = b[1:]
+		if len(b) < nl+tenantObsU64s*8+4 {
+			return nil, fmt.Errorf("rpc: obs row %d truncated", i)
+		}
+		var r TenantObs
+		r.Name = string(b[:nl])
+		b = b[nl:]
+		for _, p := range [tenantObsU64s]*uint64{
+			&r.Fed, &r.MemoryBytes, &r.TapDepth, &r.TapDropped,
+			&r.FeedRecords, &r.FeedFrames, &r.ReplLagMax, &r.Followers,
+			&r.CkptAgeMS, &r.CkptEpoch, &r.CkptFull, &r.CkptDelta,
+			&r.PredPredicted, &r.PredHits,
+		} {
+			*p = le.Uint64(b[:8])
+			b = b[8:]
+		}
+		var gn int
+		if gn, b, err = consumeCount(b, 4+8+4); err != nil {
+			return nil, fmt.Errorf("rpc: obs row %d groups: %w", i, err)
+		}
+		if gn > 0 {
+			r.Groups = make([]ObsGroup, 0, gn)
+		}
+		for j := 0; j < gn; j++ {
+			if len(b) < 4+8+4 {
+				return nil, fmt.Errorf("rpc: obs row %d group %d truncated", i, j)
+			}
+			var g ObsGroup
+			g.Seed = trace.FileID(le.Uint32(b[:4]))
+			g.Strength = f64from(le.Uint64(b[4:12]))
+			b = b[12:]
+			var fn int
+			if fn, b, err = consumeCount(b, 4); err != nil {
+				return nil, fmt.Errorf("rpc: obs row %d group %d: %w", i, j, err)
+			}
+			if fn > 0 {
+				g.Files = make([]trace.FileID, fn)
+				for k := range g.Files {
+					g.Files[k] = trace.FileID(le.Uint32(b[:4]))
+					b = b[4:]
+				}
+			}
+			r.Groups = append(r.Groups, g)
+		}
+		rows = append(rows, r)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("rpc: %d trailing bytes after obs rows", len(b))
+	}
+	return rows, nil
 }
 
 // ------------------------------------------------------- frame buffer pool

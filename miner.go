@@ -5,9 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"farmer/internal/core"
+	"farmer/internal/obs"
 	"farmer/internal/replica"
+	"farmer/internal/rpc"
 )
 
 // Miner is the public mining surface this package's deployments share: the
@@ -51,6 +55,7 @@ type openConfig struct {
 	pfSink      PrefetchSink
 	pfCfg       PrefetchConfig
 	readStripes int
+	obs         *obs.Registry
 }
 
 // Option configures Open.
@@ -137,6 +142,19 @@ func WithPrefetcher(sink PrefetchSink, cfg PrefetchConfig) Option {
 	}
 }
 
+// WithObs registers the miner's live metrics into reg: ingest position,
+// model footprint, per-shard tap mailbox depth and drops, checkpoint
+// age/epoch and full-vs-delta counts, and (with WithPrefetcher) prediction
+// hit/accuracy. Metric updates on the hot path are free — everything the
+// registry reads is an atomic or a callback sampled only at scrape time.
+// A nil registry is allowed and equivalent to omitting the option.
+func WithObs(reg *MetricsRegistry) Option {
+	return func(oc *openConfig) error {
+		oc.obs = reg
+		return nil
+	}
+}
+
 // LocalMiner is the in-process Miner: a ShardedModel, optionally backed by
 // a persistent store and an attached async prefetch pipeline. Beyond the
 // Miner interface it exposes the concrete read surface (CorrelatorList,
@@ -152,6 +170,18 @@ type LocalMiner struct {
 
 	ckptMu        sync.Mutex
 	ckptSinceFull int // incremental checkpoints since the last full one
+
+	// Checkpoint observability: always counted (the MsgObs row needs the
+	// numbers whether or not a registry is attached); the padded counters
+	// cost one uncontended add per checkpoint. lastCkptMS is the unix-ms
+	// completion time of the last checkpoint (0 = never). ckptDur is nil
+	// without WithObs.
+	ckptFull   obs.Counter
+	ckptDelta  obs.Counter
+	lastCkptMS atomic.Int64
+	ckptDur    *obs.Histogram
+
+	obsReg *obs.Registry // nil unless WithObs / AttachMetrics
 
 	closeOnce sync.Once
 	closeErr  error
@@ -205,7 +235,99 @@ func Open(cfg Config, opts ...Option) (*LocalMiner, error) {
 	if oc.prefetch {
 		m.pf = StartPrefetcher(m.sm, oc.pfSink, oc.pfCfg)
 	}
+	if oc.obs != nil {
+		m.AttachMetrics(oc.obs)
+	}
 	return m, nil
+}
+
+// AttachMetrics registers the miner's live metrics into reg — the body of
+// WithObs, callable after Open for compositions (like Serve) that build
+// the registry later. Attaching twice, or attaching nil, is a no-op.
+func (m *LocalMiner) AttachMetrics(reg *MetricsRegistry) {
+	if reg == nil || m.obsReg != nil {
+		return
+	}
+	m.obsReg = reg
+	m.ckptDur = reg.Histogram("farmer_checkpoint_duration_ms")
+	reg.CounterFunc("farmer_ingest_records_total", func() float64 { return float64(m.sm.Fed()) })
+	// The footprint estimate walks every list and vector under the model
+	// read locks — O(model), not O(1) like every other series here. Cache
+	// it briefly so a scrape storm cannot turn into a read-lock storm
+	// against the ingest path.
+	var memMu sync.Mutex
+	var memAt time.Time
+	var memVal float64
+	reg.GaugeFunc("farmer_model_memory_bytes", func() float64 {
+		memMu.Lock()
+		defer memMu.Unlock()
+		if memAt.IsZero() || time.Since(memAt) > 2*time.Second {
+			memVal = float64(m.sm.Stats().MemoryBytes)
+			memAt = time.Now()
+		}
+		return memVal
+	})
+	reg.GaugeEach("farmer_shard_mailbox_depth", func(emit obs.EmitFunc) {
+		for i, sh := range m.sm.ShardObs() {
+			emit([]obs.Label{obs.L("shard", fmt.Sprint(i))}, float64(sh.MailboxDepth))
+		}
+	})
+	reg.CounterEach("farmer_tap_dropped_total", func(emit obs.EmitFunc) {
+		for i, sh := range m.sm.ShardObs() {
+			emit([]obs.Label{obs.L("shard", fmt.Sprint(i))}, float64(sh.Dropped))
+		}
+	})
+	reg.CounterFunc("farmer_checkpoint_full_total", func() float64 { return float64(m.ckptFull.Load()) })
+	reg.CounterFunc("farmer_checkpoint_delta_total", func() float64 { return float64(m.ckptDelta.Load()) })
+	reg.GaugeFunc("farmer_checkpoint_epoch", func() float64 { return float64(m.sm.SaveEpoch()) })
+	reg.GaugeFunc("farmer_checkpoint_age_seconds", func() float64 {
+		last := m.lastCkptMS.Load()
+		if last == 0 {
+			return -1 // never checkpointed
+		}
+		return float64(time.Now().UnixMilli()-last) / 1000
+	})
+	if m.pf != nil {
+		reg.CounterFunc("farmer_predict_predictions_total", func() float64 { return float64(m.pf.Stats().Predicted) })
+		reg.CounterFunc("farmer_predict_hits_total", func() float64 { return float64(m.pf.Stats().Hits) })
+		reg.GaugeFunc("farmer_predict_accuracy", func() float64 { return m.pf.Stats().Accuracy() })
+		reg.CounterFunc("farmer_prefetch_submitted_total", func() float64 { return float64(m.pf.Stats().Submitted) })
+		reg.CounterFunc("farmer_prefetch_queue_dropped_total", func() float64 { return float64(m.pf.Stats().QueueDropped) })
+	}
+}
+
+// Metrics returns the attached registry, nil without WithObs.
+func (m *LocalMiner) Metrics() *MetricsRegistry { return m.obsReg }
+
+// obsRow builds the miner's slice of a MsgObs response: footprint, tap
+// health, checkpoint history, prediction accuracy, and the top-k correlated
+// groups by strength. The rpc layer stamps wire-level fields (feed counts,
+// replication lag) on top.
+func (m *LocalMiner) obsRow(topK int) rpc.TenantObs {
+	st := m.sm.Stats()
+	row := rpc.TenantObs{
+		Fed:         st.Fed,
+		MemoryBytes: uint64(st.MemoryBytes),
+		TapDepth:    uint64(st.TapDepth),
+		TapDropped:  st.TapDropped,
+		CkptEpoch:   m.sm.SaveEpoch(),
+		CkptFull:    m.ckptFull.Load(),
+		CkptDelta:   m.ckptDelta.Load(),
+		CkptAgeMS:   rpc.NeverCheckpointed,
+	}
+	if last := m.lastCkptMS.Load(); last > 0 {
+		if age := time.Now().UnixMilli() - last; age >= 0 {
+			row.CkptAgeMS = uint64(age)
+		}
+	}
+	if m.pf != nil {
+		ps := m.pf.Stats()
+		row.PredPredicted, row.PredHits = ps.Predicted, ps.Hits
+	}
+	for _, g := range m.sm.TopGroups(topK) {
+		row.Groups = append(row.Groups, rpc.ObsGroup{Seed: g.Seed, Strength: g.Strength, Files: g.Files})
+	}
+	return row
 }
 
 // Feed implements Miner.
@@ -264,6 +386,7 @@ const fullCheckpointEvery = 16
 // on the first save, every fullCheckpointEvery-th save, or whenever the
 // store's epoch says a delta would not be safe.
 func (m *LocalMiner) checkpoint(sm *ShardedModel, st *Store) error {
+	start := time.Now()
 	m.ckptMu.Lock()
 	forceFull := m.ckptSinceFull >= fullCheckpointEvery-1
 	m.ckptMu.Unlock()
@@ -286,6 +409,13 @@ func (m *LocalMiner) checkpoint(sm *ShardedModel, st *Store) error {
 		m.ckptSinceFull = 0
 	}
 	m.ckptMu.Unlock()
+	if incremental {
+		m.ckptDelta.Inc()
+	} else {
+		m.ckptFull.Inc()
+	}
+	m.lastCkptMS.Store(time.Now().UnixMilli())
+	m.ckptDur.Observe(uint64(time.Since(start).Milliseconds()))
 	if incremental {
 		return nil
 	}

@@ -315,3 +315,15 @@ func TestOpenWithPrefetcher(t *testing.T) {
 		t.Fatalf("sink got %d candidates, pipeline submitted %d", len(got), st.Submitted)
 	}
 }
+
+func TestPartitionerByName(t *testing.T) {
+	for _, name := range []string{"stripe", "hash", "group"} {
+		p, err := farmer.PartitionerByName(name)
+		if err != nil || p == nil {
+			t.Fatalf("%s: (%v, %v)", name, p, err)
+		}
+	}
+	if _, err := farmer.PartitionerByName("bogus"); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"farmer/internal/core"
+	"farmer/internal/obs"
 	"farmer/internal/partition"
 	"farmer/internal/rpc"
 	"farmer/internal/trace"
@@ -73,6 +74,14 @@ type ServeConfig struct {
 	// Logf, if set, receives serve-time notices (a dropped follower, a
 	// promotion). Defaults to discarding them.
 	Logf func(format string, args ...any)
+
+	// Obs, when non-nil, receives the server's live metrics: the miner's
+	// ingest/tap/checkpoint/prediction series (AttachMetrics), the wire
+	// layer's frame/byte/per-tenant-feed counters, and — on a replicating
+	// primary — per-follower replication lag. Render it with
+	// WritePrometheus/WriteJSON; farmerd's -metrics-addr endpoint is exactly
+	// that.
+	Obs *MetricsRegistry
 
 	// TLS, when non-nil, serves the protocol over TLS on the listener —
 	// the server half of farmerd -tls-cert/-tls-key.
@@ -207,6 +216,23 @@ func (b *serveBackend) Predict(f FileID, k int) []FileID {
 }
 func (b *serveBackend) CorrelatorList(f FileID) []Correlator { return b.m.CorrelatorList(f) }
 func (b *serveBackend) Stats() core.Stats                    { return b.m.sm.Stats() }
+
+// TenantObs implements rpc.ObsBackend: the miner's observability row plus
+// the replication half only this layer knows — follower count and the
+// worst per-follower lag (primary position minus acked position).
+func (b *serveBackend) TenantObs(topK int) rpc.TenantObs {
+	row := b.m.obsRow(topK)
+	if b.repl != nil {
+		lags := b.repl.Lags()
+		row.Followers = uint64(len(lags))
+		for _, l := range lags {
+			if l.Lag > row.ReplLagMax {
+				row.ReplLagMax = l.Lag
+			}
+		}
+	}
+	return row
+}
 
 func (b *serveBackend) ApplyEvents(evs []partition.Event) error {
 	if err := b.writable(); err != nil {
@@ -459,10 +485,21 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 			cfg.Logf("follower %s caught up and attached", addr)
 		}
 	}
+	if cfg.Obs != nil {
+		m.AttachMetrics(cfg.Obs)
+		if repl := backend.repl; repl != nil {
+			cfg.Obs.GaugeEach("farmer_repl_lag_records", func(emit obs.EmitFunc) {
+				for _, l := range repl.Lags() {
+					emit([]obs.Label{obs.L("follower", l.Addr)}, float64(l.Lag))
+				}
+			})
+			cfg.Obs.GaugeFunc("farmer_repl_followers", func() float64 { return float64(len(repl.Lags())) })
+		}
+	}
 	reg := newRegistry(cfg, saveBudget)
 	reg.registerDefault(m, backend)
 	defer reg.closeReplicators()
-	srv := rpc.NewResolverServer(reg, rpc.ServerOptions{AuthTokens: cfg.AuthTokens})
+	srv := rpc.NewResolverServer(reg, rpc.ServerOptions{AuthTokens: cfg.AuthTokens, Obs: cfg.Obs})
 	if cfg.TLS != nil {
 		lis = tls.NewListener(lis, cfg.TLS)
 	}

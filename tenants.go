@@ -267,6 +267,29 @@ func (g *Registry) Tenants() []rpc.TenantInfo {
 	return infos
 }
 
+var _ rpc.ObsResolver = (*Registry)(nil)
+
+// TenantObs implements rpc.ObsResolver: one observability row per live
+// tenant, default first then lexicographic — the body of the MsgObs frame
+// behind `farmerctl top` and the tenant columns of `farmerctl tenants`.
+// The wire layer stamps its own per-tenant feed accounting on top and
+// filters the rows to the connection's grants.
+func (g *Registry) TenantObs(topK int) []rpc.TenantObs {
+	g.mu.Lock()
+	entries := make([]*tenantEntry, 0, len(g.tenants))
+	for _, e := range g.tenants {
+		entries = append(entries, e)
+	}
+	g.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	rows := make([]rpc.TenantObs, len(entries))
+	for i, e := range entries {
+		rows[i] = e.backend.TenantObs(topK)
+		rows[i].Name = e.name
+	}
+	return rows
+}
+
 // checkpointAll saves every stored tenant (the serve loop's checkpoint
 // tick); the first error is returned after the sweep completes.
 func (g *Registry) checkpointAll() error {
