@@ -10,6 +10,7 @@
 //	farmerctl ping  [flags]             round-trip a live farmerd and report latency
 //	farmerctl tenants [flags]           list a multi-tenant farmerd's live tenants
 //	farmerctl top   [flags]             live top-k correlated groups and ingest rates
+//	farmerctl rebalance [flags]         move a daemon's lease and state to another farmerd
 //
 // Experiments: fig1 table2 fig3 fig5 fig6 fig7 fig8 table3 table4 ablation
 // quality asynclat cluster all. fig3 accepts -trace (default runs all four
@@ -47,6 +48,8 @@ func main() {
 		code = runTenants(args[1:])
 	case len(args) > 0 && args[0] == "top":
 		code = runTop(args[1:])
+	case len(args) > 0 && args[0] == "rebalance":
+		code = runRebalance(args[1:])
 	default:
 		code = runExperiments(args)
 	}
@@ -254,6 +257,57 @@ func runTenants(args []string) int {
 	return 0
 }
 
+// -------------------------------------------------------------- rebalance
+
+func runRebalance(args []string) int {
+	fs := newFlagSet("rebalance", "move a daemon's write lease and mined state to another farmerd, live.", "[flags]")
+	addr := fs.String("addr", "127.0.0.1:4727", "source farmerd TCP address (the current lease holder)")
+	to := fs.String("to", "", "target farmerd TCP address, as reachable from the source (required)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "handoff deadline (shipping a large model takes a while)")
+	dial := dialFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return usageErr(fs, "unexpected arguments %q", fs.Args())
+	}
+	if *to == "" {
+		return usageErr(fs, "-to is required")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	m, err := farmer.Dial(ctx, *addr, dial()...)
+	if err != nil {
+		return fail("rebalance", err)
+	}
+	defer m.Close()
+
+	start := time.Now()
+	if err := m.Handoff(ctx, *to); err != nil {
+		// The handoff frame is sent exactly once; if the connection died
+		// mid-call the transfer may or may not have landed. Point the
+		// operator at the authoritative check instead of guessing.
+		if errors.Is(err, farmer.ErrDisconnected) {
+			return fail("rebalance", fmt.Errorf("%w — the handoff is in doubt: check `farmerctl top -addr %s` for the lease holder", err, *to))
+		}
+		return fail("rebalance", err)
+	}
+	fmt.Fprintf(topOut, "%s: handed off to %s in %v\n", *addr, *to, time.Since(start).Truncate(time.Millisecond))
+
+	// Confirm from the target's mouth when it is reachable from here (the
+	// -to address is resolved by the source, which may sit on another
+	// network). Failure to confirm is not failure to hand off.
+	tctx, tcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer tcancel()
+	if tm, err := farmer.Dial(tctx, *to, dial()...); err == nil {
+		defer tm.Close()
+		if info, err := tm.LeaseStatus(tctx); err == nil && info.Self {
+			fmt.Fprintf(topOut, "%s: leading at epoch %d (ttl %v)\n",
+				*to, info.Epoch, time.Duration(info.TTLMS)*time.Millisecond)
+		}
+	}
+	return 0
+}
+
 // -------------------------------------------------------------------- top
 
 // topOut is where top and tenants write their tables — a seam so tests can
@@ -301,6 +355,14 @@ func runTop(args []string) int {
 		}
 		now := time.Now()
 		fmt.Fprint(topOut, renderTop(*addr, rows, prev, now.Sub(prevAt)))
+		// Per-message wire latency rides its own frame; an older farmerd
+		// that lacks it still renders the rest of the view.
+		wctx, wcancel := context.WithTimeout(context.Background(), *timeout)
+		ws, werr := m.WireStats(wctx)
+		wcancel()
+		if werr == nil {
+			fmt.Fprint(topOut, renderWire(ws))
+		}
 		prev = make(map[string]farmer.TenantObs, len(rows))
 		for _, r := range rows {
 			prev[r.Name] = r
@@ -319,8 +381,8 @@ func runTop(args []string) int {
 func renderTop(addr string, rows []farmer.TenantObs, prev map[string]farmer.TenantObs, elapsed time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "farmerd %s — %s — %d tenant(s)\n", addr, time.Now().Format("15:04:05"), len(rows))
-	fmt.Fprintf(&b, "%-16s %12s %10s %12s %8s %10s %8s %8s\n",
-		"TENANT", "FED", "RATE/S", "MEMORY", "TAP", "CKPT-AGE", "LAG", "ACC")
+	fmt.Fprintf(&b, "%-16s %12s %10s %12s %8s %10s %8s %8s %8s\n",
+		"TENANT", "FED", "RATE/S", "MEMORY", "TAP", "CKPT-AGE", "LAG", "ACC", "EPOCH")
 	for _, r := range rows {
 		name := r.Name
 		if name == "" {
@@ -346,10 +408,33 @@ func renderTop(addr string, rows []farmer.TenantObs, prev map[string]farmer.Tena
 		if r.PredPredicted > 0 {
 			acc = fmt.Sprintf("%.1f%%", 100*float64(r.PredHits)/float64(r.PredPredicted))
 		}
-		fmt.Fprintf(&b, "%-16s %12d %10s %12d %8s %10s %8s %8s\n",
-			name, r.Fed, rate, r.MemoryBytes, tap, ckptAge, lag, acc)
+		epoch := "-"
+		if r.LeaseEpoch > 0 {
+			epoch = fmt.Sprintf("%d", r.LeaseEpoch)
+		}
+		fmt.Fprintf(&b, "%-16s %12d %10s %12d %8s %10s %8s %8s %8s\n",
+			name, r.Fed, rate, r.MemoryBytes, tap, ckptAge, lag, acc, epoch)
 	}
 	b.WriteString(renderGroups(rows))
+	return b.String()
+}
+
+// renderWire formats the daemon's per-message wire-latency accounting (the
+// same numbers the farmer_rpc_latency_ns metrics histogram): request count
+// and mean handler latency per message type since the daemon started.
+func renderWire(stats []farmer.WireStat) string {
+	var b strings.Builder
+	wrote := false
+	for _, s := range stats {
+		if s.Count == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(&b, "wire latency since start\n%-12s %12s %12s\n", "MSG", "COUNT", "AVG")
+			wrote = true
+		}
+		fmt.Fprintf(&b, "%-12s %12d %12s\n", s.Type, s.Count, time.Duration(s.SumNS/s.Count))
+	}
 	return b.String()
 }
 

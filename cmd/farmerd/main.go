@@ -12,7 +12,7 @@
 //	        [-checkpoint D] [-prefetch-k K]
 //	        [-weight P] [-strength S]
 //	        [-replicate-to addr,addr...] [-follow] [-catchup-tail N]
-//	        [-replica-token T]
+//	        [-replica-token T] [-lease-ttl D] [-lease-peers addr,addr...]
 //	        [-tls-cert cert.pem -tls-key key.pem]
 //	        [-auth token=tenant,tenant]... [-tenants-dir DIR]
 //	        [-max-tenants N] [-tenant-idle D]
@@ -37,6 +37,17 @@
 // it serves reads, refuses writes until promoted, and accepts promotion
 // (from a failing-over multi-address farmer.Dial client) only after its
 // primary's link is gone. See DESIGN.md "Replication & failover".
+//
+// With -lease-ttl, writability is governed by an epoch-versioned LEASE
+// instead of manual promotion: the primary renews its lease over the
+// replication stream (renewal needs acks from a majority of configured
+// followers), and a follower whose lease view expires elects itself at the
+// next epoch once a majority of -lease-peers grant their vote. Writes
+// against a deposed or lapsed daemon fail with a typed stale-epoch error
+// that multi-address clients use to find the live lease holder, and
+// `farmerctl rebalance` moves the lease (and the mined state) to another
+// daemon without dropping a single acked record. See DESIGN.md "Leases,
+// epochs & live handoff".
 //
 // With -tenants-dir, the daemon is MULTI-TENANT: frames carrying a tenant
 // id lazily open one miner per tenant, persisted under DIR/<tenant>/, with
@@ -112,6 +123,8 @@ func run() int {
 	replicateTo := fs.String("replicate-to", "", "comma-separated follower addresses to replicate to (serve as primary)")
 	follow := fs.Bool("follow", false, "serve as a replication follower: reads only until promoted")
 	catchupTail := fs.Int("catchup-tail", 0, "records a primary retains for delta catch-up of restarted followers (0 = default 65536, negative = full cuts only)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "epoch-versioned write lease TTL: writes require a live lease, expiry triggers follower self-election (0 = leases off)")
+	leasePeers := fs.String("lease-peers", "", "comma-separated peer farmerd addresses that vote in lease elections (needs -lease-ttl)")
 	replicaToken := fs.String("replica-token", "", "bearer token presented to -replicate-to followers running with -auth")
 	tlsCert := fs.String("tls-cert", "", "PEM certificate for serving over TLS (needs -tls-key)")
 	tlsKey := fs.String("tls-key", "", "PEM private key for serving over TLS (needs -tls-cert)")
@@ -152,6 +165,8 @@ func run() int {
 		ReplicateTo: splitAddrs(*replicateTo),
 		Follow:      *follow,
 		CatchupTail: *catchupTail,
+		LeaseTTL:    *leaseTTL,
+		LeasePeers:  splitAddrs(*leasePeers),
 
 		TLSCert:      *tlsCert,
 		TLSKey:       *tlsKey,

@@ -43,9 +43,10 @@ import (
 // definitely not applied, so that one IS retried internally after the
 // promotion sweep. Reads always retry.
 type RemoteMiner struct {
-	addrs []string
-	opts  rpc.DialOptions // tenant binding, token, TLS — re-applied on every redial
-	ackN  int             // WithAckWindow: in-flight feed frames (<= 1 = synchronous)
+	addrs       []string
+	opts        rpc.DialOptions // tenant binding, token, TLS — re-applied on every redial
+	ackN        int             // WithAckWindow: in-flight feed frames (<= 1 = synchronous)
+	ackAdaptive bool            // WithAckWindow(0): self-tuning window, 1..adaptive max
 
 	mu     sync.Mutex
 	c      *rpc.Client // current connection, nil after a drop
@@ -65,9 +66,10 @@ var _ Miner = (*RemoteMiner)(nil)
 type DialOption func(*dialConfig) error
 
 type dialConfig struct {
-	failover  []string
-	opts      rpc.DialOptions
-	ackWindow int
+	failover    []string
+	opts        rpc.DialOptions
+	ackWindow   int
+	ackAdaptive bool
 }
 
 // WithTenant binds the client to one tenant: every frame it sends carries
@@ -131,10 +133,18 @@ func WithDialTLS(cfg *tls.Config) DialOption {
 // failed Feed) surfaces the first error, Stats().Fed on the recovered
 // server is the exact resume point, and the stream is re-sent from there.
 // Call Flush before Close to observe the final acks.
+//
+// WithAckWindow(0) selects the ADAPTIVE window: it starts at one frame in
+// flight and grows toward an internal cap while reap round trips stay near
+// the smoothed baseline, halving when one spikes past it — the right
+// choice when the link's bandwidth-delay product is unknown.
 func WithAckWindow(n int) DialOption {
 	return func(dc *dialConfig) error {
 		if n < 0 {
 			return fmt.Errorf("farmer: WithAckWindow(%d): negative window", n)
+		}
+		if n == 0 {
+			dc.ackAdaptive = true
 		}
 		dc.ackWindow = n
 		return nil
@@ -158,7 +168,7 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*RemoteMiner, e
 			return nil, err
 		}
 	}
-	m := &RemoteMiner{addrs: dc.failover, opts: dc.opts, ackN: dc.ackWindow}
+	m := &RemoteMiner{addrs: dc.failover, opts: dc.opts, ackN: dc.ackWindow, ackAdaptive: dc.ackAdaptive}
 	var firstErr error
 	for i := range m.addrs {
 		c, err := rpc.DialWith(ctx, m.addrs[i], m.opts)
@@ -175,9 +185,19 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*RemoteMiner, e
 
 // failoverable reports whether an error means "this connection or server is
 // done for, another server might do better": the transport died underneath
-// us, or an un-promoted follower refused a write.
+// us, an un-promoted follower refused a write, or a deposed leader refused
+// it as stale-epoch (the lease moved; the new leader is elsewhere).
 func failoverable(err error) bool {
-	return errors.Is(err, rpc.ErrDisconnected) || errors.Is(err, rpc.ErrNotPrimary)
+	return errors.Is(err, rpc.ErrDisconnected) || errors.Is(err, rpc.ErrNotPrimary) ||
+		errors.Is(err, rpc.ErrStaleEpoch)
+}
+
+// refusedUnapplied reports a write refusal that provably happened BEFORE
+// any mining — an un-promoted follower, or a stale lease epoch (checked
+// ahead of the mine, and re-checked under the stream lock) — so the write
+// is safe to retry against another server even though it is a mutation.
+func refusedUnapplied(err error) bool {
+	return errors.Is(err, rpc.ErrNotPrimary) || errors.Is(err, rpc.ErrStaleEpoch)
 }
 
 // conn returns the current connection, establishing one if the last died:
@@ -227,11 +247,20 @@ func (m *RemoteMiner) connLocked(ctx context.Context) (*rpc.Client, error) {
 // address entirely and started the sweep at the next one, so a
 // single-address client got a nil "success" with nobody promoted — and do
 // retried the write against a server that had never accepted promotion.
+// When the cluster runs leases (farmerd -lease-ttl), the sweep is
+// preceded by a lease pass: each address is asked its LeaseStatus and the
+// live self-leader with the highest epoch wins outright — which is what
+// keeps the sweep away from a reachable-but-lease-expired old primary
+// whose in-order position would otherwise be tried first. Lease-less
+// servers answer with the zero term and simply do not bid.
 func (m *RemoteMiner) seekWritable(ctx context.Context) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return rpc.ErrClientClosed
+	}
+	if err := m.seekLeaseHolder(ctx); err == nil {
+		return nil
 	}
 	var lastErr error
 	start := 0
@@ -267,6 +296,57 @@ func (m *RemoteMiner) seekWritable(ctx context.Context) error {
 	return lastErr
 }
 
+// seekLeaseHolder is seekWritable's lease pass, run under m.mu: probe every
+// address's LeaseStatus and make the live self-leader with the highest
+// epoch the current connection. Probe failures — unreachable servers,
+// pre-lease builds answering CodeUnsupported — just withhold that bid; an
+// error return means "no holder found, fall back to the promotion sweep".
+func (m *RemoteMiner) seekLeaseHolder(ctx context.Context) error {
+	var (
+		best      *rpc.Client
+		bestIdx   int
+		bestEpoch uint64
+	)
+	for i := range m.addrs {
+		idx := (m.cur + i) % len(m.addrs)
+		c := m.c
+		if idx != m.cur || c == nil {
+			var err error
+			if c, err = rpc.DialWith(ctx, m.addrs[idx], m.opts); err != nil {
+				continue
+			}
+		}
+		info, err := c.LeaseStatus(ctx)
+		if err != nil || !info.Self || info.Epoch <= bestEpoch {
+			if c != m.c {
+				c.Close()
+			}
+			continue
+		}
+		if best != nil && best != m.c {
+			best.Close()
+		}
+		best, bestIdx, bestEpoch = c, idx, info.Epoch
+	}
+	if best == nil {
+		return fmt.Errorf("%w: no live lease holder among the configured addresses", rpc.ErrNotPrimary)
+	}
+	// Keep the sweep's invariant — never success without a Promote. On the
+	// lease holder it is an idempotent no-op; a refusal (the lease moved
+	// again between the probe and now) falls back to the sweep.
+	if err := best.Promote(ctx); err != nil {
+		if best != m.c {
+			best.Close()
+		}
+		return err
+	}
+	if m.c != nil && m.c != best {
+		m.c.Close()
+	}
+	m.c, m.cur = best, bestIdx
+	return nil
+}
+
 // drop discards a connection observed failing (if it is still current).
 func (m *RemoteMiner) drop(c *rpc.Client) {
 	m.mu.Lock()
@@ -288,7 +368,11 @@ func (m *RemoteMiner) ackWindow(ctx context.Context) (*rpc.AckWindow, *rpc.Clien
 		return nil, nil, err
 	}
 	if m.win == nil || m.winC != c {
-		m.win = c.NewAckWindow(m.ackN)
+		if m.ackAdaptive {
+			m.win = c.NewAdaptiveAckWindow(m.ackN)
+		} else {
+			m.win = c.NewAckWindow(m.ackN)
+		}
 		m.winC = c
 	}
 	return m.win, c, nil
@@ -351,7 +435,7 @@ func (m *RemoteMiner) recoverAfterWindow(ctx context.Context, c *rpc.Client, err
 	if errors.Is(err, rpc.ErrDisconnected) {
 		m.drop(c)
 	}
-	if errors.Is(err, rpc.ErrNotPrimary) {
+	if refusedUnapplied(err) {
 		_ = m.seekWritable(ctx)
 	}
 }
@@ -405,12 +489,13 @@ func (m *RemoteMiner) do(ctx context.Context, retryDisconnected bool, fn func(c 
 			return err
 		}
 		lastErr = err
-		if errors.Is(err, rpc.ErrNotPrimary) {
-			// The connection is healthy — the server just refuses writes,
-			// which also means it did NOT apply this call: safe to retry
-			// even for mutations. Find a writable server; if none exists
-			// (primary alive elsewhere, or single-address client), surface
-			// the refusal and keep the connection for reads.
+		if refusedUnapplied(err) {
+			// The connection is healthy — the server just refuses writes
+			// (un-promoted follower, or deposed leader), which also means it
+			// did NOT apply this call: safe to retry even for mutations.
+			// Find a writable server; if none exists (primary alive
+			// elsewhere, or single-address client), surface the refusal and
+			// keep the connection for reads.
 			if werr := m.seekWritable(ctx); werr != nil {
 				return err
 			}
@@ -447,7 +532,7 @@ func (m *RemoteMiner) Ping(ctx context.Context) (time.Duration, error) {
 // window — up to n frames stay in flight and a nil return means "accepted
 // into the window"; Flush is the barrier that makes it mean "acked".
 func (m *RemoteMiner) Feed(ctx context.Context, r *Record) error {
-	if m.ackN > 1 {
+	if m.ackN > 1 || m.ackAdaptive {
 		return m.windowed(ctx, func(w *rpc.AckWindow) error { return w.Feed(ctx, r) })
 	}
 	return m.do(ctx, false, func(c *rpc.Client) error { return c.Feed(ctx, r) })
@@ -458,7 +543,7 @@ func (m *RemoteMiner) Feed(ctx context.Context, r *Record) error {
 // parallel before acking. Dialed WithAckWindow(n >= 2), the batch's frames
 // ride the ack window like Feed's (see Flush).
 func (m *RemoteMiner) FeedBatch(ctx context.Context, records []Record) error {
-	if m.ackN > 1 {
+	if m.ackN > 1 || m.ackAdaptive {
 		return m.windowed(ctx, func(w *rpc.AckWindow) error { return w.FeedBatch(ctx, records) })
 	}
 	return m.do(ctx, false, func(c *rpc.Client) error { return c.FeedBatch(ctx, records) })
@@ -536,6 +621,55 @@ func (m *RemoteMiner) groups(ctx context.Context, req rpc.GroupsReq) (ReplicaGro
 		return nil
 	})
 	return info, err
+}
+
+// LeaseStatus reports the CURRENT server's view of the cluster lease: the
+// term (epoch + leader id), its TTL, and whether the answering server
+// holds it. Against a farmerd without -lease-ttl it reports the zero term.
+// Unlike writes, this deliberately does not failover past a reachable
+// server — the point is to ask one server what it believes.
+func (m *RemoteMiner) LeaseStatus(ctx context.Context) (LeaseInfo, error) {
+	var info LeaseInfo
+	err := m.do(ctx, true, func(c *rpc.Client) error {
+		var err error
+		info, err = c.LeaseStatus(ctx)
+		return err
+	})
+	return info, err
+}
+
+// Handoff asks the current server — which must hold the lease — to ship
+// its state to the farmerd at target over the catch-up machinery and
+// transfer the lease to it, epoch+1: `farmerctl rebalance` on the wire.
+// When it returns nil the target leads and the source refuses writes
+// typed. Never re-sent across a connection loss — a half-run handoff is in
+// doubt, and re-running against a source that already handed off fails
+// with ErrStaleEpoch; probe LeaseStatus on the target to resolve it.
+func (m *RemoteMiner) Handoff(ctx context.Context, target string) error {
+	c, err := m.conn(ctx)
+	if err != nil {
+		return err
+	}
+	if err := c.Handoff(ctx, target); err != nil {
+		if errors.Is(err, rpc.ErrDisconnected) {
+			m.drop(c)
+		}
+		return err
+	}
+	return nil
+}
+
+// WireStats fetches the server's per-request-type wire latency table
+// (count and summed nanoseconds per MsgType) — the read behind the
+// `farmerctl top` latency columns.
+func (m *RemoteMiner) WireStats(ctx context.Context) ([]WireStat, error) {
+	var out []WireStat
+	err := m.do(ctx, true, func(c *rpc.Client) error {
+		var err error
+		out, err = c.WireStats(ctx)
+		return err
+	})
+	return out, err
 }
 
 // TenantStatus is one live tenant on a farmerd: its id (empty = the

@@ -63,6 +63,23 @@ var (
 	// follower (farmerd -follow) — dial the primary, or include it in a
 	// multi-address Dial so failover promotes it when the primary dies.
 	ErrNotPrimary = rpc.ErrNotPrimary
+	// ErrStaleEpoch marks a write refused under a lapsed or superseded
+	// lease epoch (farmerd -lease-ttl): the lease moved — by expiry
+	// election or a live handoff — and the refusing server provably did
+	// not apply the write. A multi-address Dial client reseeks the leader
+	// and retries; it escapes to the caller only when no leader is
+	// reachable.
+	ErrStaleEpoch = rpc.ErrStaleEpoch
+)
+
+// Lease and handoff wire types, re-exported.
+type (
+	// LeaseInfo is one server's view of the cluster lease: term epoch,
+	// leader id, TTL, and whether the answering server holds it.
+	LeaseInfo = rpc.LeaseInfo
+	// WireStat is one request type's server-side latency accounting
+	// (count and summed nanoseconds) from RemoteMiner.WireStats.
+	WireStat = rpc.WireStat
 )
 
 // Core model types, re-exported.

@@ -52,6 +52,15 @@ type Options struct {
 	// catch-up (0 = default 65536, negative = full cuts only). Only
 	// meaningful with ReplicateTo.
 	CatchupTail int
+	// LeaseTTL enables epoch-versioned write leases: the daemon only
+	// accepts writes while holding a live lease, renews it over the
+	// replication stream, and a follower whose lease view expires holds an
+	// election among LeasePeers instead of waiting for a manual promote.
+	// Zero keeps the historical availability-wins behaviour.
+	LeaseTTL time.Duration
+	// LeasePeers lists the other farmerd protocol addresses that vote in
+	// elections. Requires LeaseTTL.
+	LeasePeers []string
 
 	// TLSCert/TLSKey name a PEM certificate/key pair; both or neither.
 	// When set, the daemon serves the wire protocol over TLS.
@@ -139,6 +148,14 @@ func Run(ctx context.Context, o Options) error {
 	for _, addr := range o.ReplicateTo {
 		if addr == "" {
 			return fmt.Errorf("%w: -replicate-to contains an empty address", ErrUsage)
+		}
+	}
+	if len(o.LeasePeers) > 0 && o.LeaseTTL <= 0 {
+		return fmt.Errorf("%w: -lease-peers requires -lease-ttl", ErrUsage)
+	}
+	for _, addr := range o.LeasePeers {
+		if addr == "" {
+			return fmt.Errorf("%w: -lease-peers contains an empty address", ErrUsage)
 		}
 	}
 	if (o.TLSCert == "") != (o.TLSKey == "") {
@@ -285,6 +302,8 @@ func Run(ctx context.Context, o Options) error {
 		ReplicateTo:  o.ReplicateTo,
 		CatchupTail:  o.CatchupTail,
 		Follower:     o.Follow,
+		LeaseTTL:     o.LeaseTTL,
+		LeasePeers:   o.LeasePeers,
 		ReplicaToken: o.ReplicaToken,
 		TLS:          tlsCfg,
 		AuthTokens:   authTokens,

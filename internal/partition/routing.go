@@ -1,0 +1,136 @@
+// RoutingTable makes shard ownership explicit and epoch-versioned. The
+// Dispatcher historically assumed hash-owns-everything: partition index i is
+// owner i, forever. Live rebalancing breaks that assumption — during a
+// handoff a shard has TWO owners (the old one still applying the stream,
+// the new one catching up), and after it the shard lives somewhere the
+// partitioner alone cannot know. The table versions every change with an
+// epoch, mirroring the lease layer: observers (metrics, the rebalance
+// orchestration, tests) can tell "nothing changed" from "changed and
+// changed back", and a handoff is provably two transitions — begin (dual
+// ownership, epoch+1) and commit (sole new owner, epoch+1 again).
+package partition
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RoutingTable maps shards (partition indices) to owners, versioned per
+// epoch. Safe for concurrent use; reads on the dispatch path are one
+// RLock + slice index.
+type RoutingTable struct {
+	mu      sync.RWMutex
+	epoch   uint64
+	owner   []int
+	pending map[int]int // shard -> incoming owner during a handoff window
+}
+
+// NewRoutingTable builds the identity routing over shards partitions and
+// owners owners: shard i is owned by i mod owners — exactly the implicit
+// assumption the Dispatcher made, now stated where it can change.
+func NewRoutingTable(shards, owners int) *RoutingTable {
+	if shards < 1 || owners < 1 {
+		panic(fmt.Sprintf("partition: routing table needs shards >= 1 and owners >= 1, got %d/%d", shards, owners))
+	}
+	t := &RoutingTable{owner: make([]int, shards)}
+	for i := range t.owner {
+		t.owner[i] = i % owners
+	}
+	return t
+}
+
+// Epoch reports the table's version: it advances on every BeginHandoff,
+// Commit and Abort, and never regresses.
+func (t *RoutingTable) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// Shards reports how many shards the table routes.
+func (t *RoutingTable) Shards() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.owner)
+}
+
+// Owners resolves a shard: primary is the owner events route to, and when
+// a handoff window is open for the shard, dual is the incoming owner that
+// must ALSO observe the stream (hasDual true). Outside a window dual is
+// meaningless and hasDual false.
+func (t *RoutingTable) Owners(shard int) (primary, dual int, hasDual bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	primary = t.owner[shard]
+	dual, hasDual = t.pending[shard]
+	return primary, dual, hasDual
+}
+
+// OwnerOf resolves a shard to its primary owner — the dispatch-path read.
+func (t *RoutingTable) OwnerOf(shard int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.owner[shard]
+}
+
+// BeginHandoff opens a handoff window moving shard to owner `to`: the shard
+// keeps its current primary (which continues applying the live stream)
+// while `to` is recorded as the dual destination, and the epoch advances.
+// It fails if a window is already open for the shard or the move is a
+// no-op.
+func (t *RoutingTable) BeginHandoff(shard, to int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if shard < 0 || shard >= len(t.owner) {
+		return fmt.Errorf("partition: handoff of unknown shard %d (table has %d)", shard, len(t.owner))
+	}
+	if _, open := t.pending[shard]; open {
+		return fmt.Errorf("partition: shard %d already in a handoff window", shard)
+	}
+	if t.owner[shard] == to {
+		return fmt.Errorf("partition: shard %d already owned by %d", shard, to)
+	}
+	if t.pending == nil {
+		t.pending = make(map[int]int)
+	}
+	t.pending[shard] = to
+	t.epoch++
+	return nil
+}
+
+// Commit closes the shard's handoff window: the dual destination becomes
+// the sole owner and the epoch advances. It fails when no window is open.
+func (t *RoutingTable) Commit(shard int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	to, open := t.pending[shard]
+	if !open {
+		return fmt.Errorf("partition: commit of shard %d without an open handoff window", shard)
+	}
+	t.owner[shard] = to
+	delete(t.pending, shard)
+	t.epoch++
+	return nil
+}
+
+// Abort closes the shard's handoff window without moving ownership (the
+// catch-up failed; the incumbent keeps serving). The epoch still advances:
+// observers saw the window open, so they must see it close.
+func (t *RoutingTable) Abort(shard int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, open := t.pending[shard]; !open {
+		return fmt.Errorf("partition: abort of shard %d without an open handoff window", shard)
+	}
+	delete(t.pending, shard)
+	t.epoch++
+	return nil
+}
+
+// Snapshot returns the owner of every shard at a consistent point — the
+// observability read.
+func (t *RoutingTable) Snapshot() (epoch uint64, owners []int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch, append([]int(nil), t.owner...)
+}

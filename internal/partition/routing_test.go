@@ -1,0 +1,161 @@
+package partition
+
+import (
+	"testing"
+
+	"farmer/internal/trace"
+)
+
+func TestRoutingTableIdentity(t *testing.T) {
+	rt := NewRoutingTable(8, 4)
+	for s := 0; s < 8; s++ {
+		if got := rt.OwnerOf(s); got != s%4 {
+			t.Fatalf("shard %d owned by %d, want %d", s, got, s%4)
+		}
+	}
+	if rt.Epoch() != 0 {
+		t.Fatalf("fresh table epoch %d, want 0", rt.Epoch())
+	}
+	if rt.Shards() != 8 {
+		t.Fatalf("shards %d, want 8", rt.Shards())
+	}
+}
+
+func TestRoutingTableHandoffLifecycle(t *testing.T) {
+	rt := NewRoutingTable(4, 2)
+
+	// Begin: primary unchanged, dual recorded, epoch bumped.
+	if err := rt.BeginHandoff(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Epoch() != 1 {
+		t.Fatalf("epoch after begin %d, want 1", rt.Epoch())
+	}
+	primary, dual, hasDual := rt.Owners(1)
+	if primary != 1 || dual != 0 || !hasDual {
+		t.Fatalf("mid-handoff owners (%d, %d, %t), want (1, 0, true)", primary, dual, hasDual)
+	}
+	if rt.OwnerOf(1) != 1 {
+		t.Fatal("primary moved before commit")
+	}
+
+	// A second window on the same shard is refused.
+	if err := rt.BeginHandoff(1, 0); err == nil {
+		t.Fatal("double handoff window accepted")
+	}
+
+	// Commit: ownership moves, window closes, epoch bumps again.
+	if err := rt.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Epoch() != 2 {
+		t.Fatalf("epoch after commit %d, want 2", rt.Epoch())
+	}
+	if rt.OwnerOf(1) != 0 {
+		t.Fatalf("shard 1 owned by %d after commit, want 0", rt.OwnerOf(1))
+	}
+	if _, _, hasDual := rt.Owners(1); hasDual {
+		t.Fatal("handoff window still open after commit")
+	}
+
+	// Commit without a window is an error.
+	if err := rt.Commit(1); err == nil {
+		t.Fatal("commit without a window accepted")
+	}
+
+	// Abort: window closes, ownership stays, epoch still advances.
+	if err := rt.BeginHandoff(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Abort(2); err != nil {
+		t.Fatal(err)
+	}
+	if rt.OwnerOf(2) != 0 {
+		t.Fatalf("abort moved shard 2 to %d", rt.OwnerOf(2))
+	}
+	if rt.Epoch() != 4 {
+		t.Fatalf("epoch after abort %d, want 4", rt.Epoch())
+	}
+	if err := rt.Abort(2); err == nil {
+		t.Fatal("abort without a window accepted")
+	}
+
+	// No-op moves and unknown shards are refused.
+	if err := rt.BeginHandoff(0, 0); err == nil {
+		t.Fatal("no-op handoff accepted")
+	}
+	if err := rt.BeginHandoff(9, 0); err == nil {
+		t.Fatal("unknown shard accepted")
+	}
+}
+
+func TestRoutingTableSnapshot(t *testing.T) {
+	rt := NewRoutingTable(3, 3)
+	if err := rt.BeginHandoff(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	epoch, owners := rt.Snapshot()
+	if epoch != 2 {
+		t.Fatalf("snapshot epoch %d, want 2", epoch)
+	}
+	want := []int{0, 1, 0}
+	for i, o := range owners {
+		if o != want[i] {
+			t.Fatalf("snapshot owners %v, want %v", owners, want)
+		}
+	}
+	// The snapshot is a copy: mutating it does not touch the table.
+	owners[0] = 99
+	if rt.OwnerOf(0) != 0 {
+		t.Fatal("snapshot aliases the live table")
+	}
+}
+
+// TestDispatcherRouting proves the dispatcher consults the routing table:
+// after moving every shard to owner 0, every event lands on owner 0 while
+// the partitioner still spreads partition indices.
+func TestDispatcherRouting(t *testing.T) {
+	rt := NewRoutingTable(4, 4)
+	d := NewDispatcher(Config{Owners: 4, Routing: rt})
+	rec := trace.Record{File: 3, Path: "/a/b"}
+
+	if d.OwnerOf(3) != Stripe(3, 4) {
+		t.Fatalf("identity routing broken: owner %d", d.OwnerOf(3))
+	}
+	for s := 1; s < 4; s++ {
+		if err := rt.BeginHandoff(s, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Commit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[int]bool{}
+	d.Dispatch(&rec, func(owner int, _ Event) { seen[owner] = true })
+	for owner := range seen {
+		if owner != 0 {
+			t.Fatalf("event routed to owner %d after all shards moved to 0", owner)
+		}
+	}
+	if d.OwnerOf(3) != 0 {
+		t.Fatalf("OwnerOf ignores the routing table: %d", d.OwnerOf(3))
+	}
+}
+
+// BenchmarkHandoffRouting measures the dispatch-path cost of the routing
+// indirection: one RLock + slice index per emitted event.
+func BenchmarkHandoffRouting(b *testing.B) {
+	rt := NewRoutingTable(16, 16)
+	d := NewDispatcher(Config{Owners: 16, Routing: rt})
+	rec := trace.Record{File: 7, Path: "/bench/file"}
+	emit := func(int, Event) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.File = trace.FileID(i & 1023)
+		d.Dispatch(&rec, emit)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"farmer/internal/trace"
 )
@@ -32,13 +33,36 @@ import (
 // the same pipelined Client.
 type AckWindow struct {
 	c *Client
-	n int
 
 	mu      sync.Mutex
-	q       []*pending // in-flight frames, oldest first
-	err     error      // first failed ack, sticky until Flush surfaces it
-	scratch []byte     // reused encode buffer (start copies the body)
+	n       int
+	q       []ackSlot // in-flight frames, oldest first
+	err     error     // first failed ack, sticky until Flush surfaces it
+	scratch []byte    // reused encode buffer (start copies the body)
+
+	// Adaptive mode (NewAdaptiveAckWindow): the window grows and shrinks
+	// between 1 and max from the observed reap RTT — additive increase while
+	// acks come back near the smoothed RTT, multiplicative decrease when one
+	// blows past it (the server or the pipe is backing up, and more frames
+	// in flight only deepen the queue).
+	adaptive bool
+	max      int
+	ewmaNS   float64 // smoothed reap RTT; 0 = no sample yet
 }
+
+// ackSlot is one in-flight frame plus when it was started — the reap RTT
+// (start→ack, which includes time queued behind the window) is the adaptive
+// window's control signal.
+type ackSlot struct {
+	p     *pending
+	start time.Time
+}
+
+// adaptiveDefaultMax bounds NewAdaptiveAckWindow's growth when the caller
+// gives no cap of its own — the measured knee of the windowed feed path
+// (ROADMAP item 2: gains flatten past w32; 64 leaves headroom for slower
+// links without letting a burst queue unbounded frames).
+const adaptiveDefaultMax = 64
 
 // NewAckWindow creates a window keeping up to n frames in flight on this
 // client's connection; n < 1 is normalized to 1 (every Feed reaps the
@@ -48,11 +72,26 @@ func (c *Client) NewAckWindow(n int) *AckWindow {
 	if n < 1 {
 		n = 1
 	}
-	return &AckWindow{c: c, n: n, q: make([]*pending, 0, n)}
+	return &AckWindow{c: c, n: n, q: make([]ackSlot, 0, n)}
 }
 
-// Window reports the configured in-flight bound.
-func (w *AckWindow) Window() int { return w.n }
+// NewAdaptiveAckWindow creates a self-tuning window: it starts at 1 frame
+// in flight and grows toward max while reap RTTs stay near the smoothed
+// baseline, halving when one spikes past it. max < 1 means the default cap.
+func (c *Client) NewAdaptiveAckWindow(max int) *AckWindow {
+	if max < 1 {
+		max = adaptiveDefaultMax
+	}
+	return &AckWindow{c: c, n: 1, adaptive: true, max: max, q: make([]ackSlot, 0, max)}
+}
+
+// Window reports the current in-flight bound (fixed, or the adaptive
+// window's present size).
+func (w *AckWindow) Window() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
 
 // InFlight reports how many frames currently await their ack.
 func (w *AckWindow) InFlight() int {
@@ -118,7 +157,11 @@ func (w *AckWindow) startLocked(ctx context.Context, typ MsgType, body []byte) e
 		w.err = err
 		return err
 	}
-	w.q = append(w.q, p)
+	var start time.Time
+	if w.adaptive {
+		start = time.Now()
+	}
+	w.q = append(w.q, ackSlot{p: p, start: start})
 	return nil
 }
 
@@ -127,13 +170,40 @@ func (w *AckWindow) startLocked(ctx context.Context, typ MsgType, body []byte) e
 // the window: once one ack is unaccounted for, everything after it is in
 // doubt too.
 func (w *AckWindow) reapLocked(ctx context.Context) error {
-	p := w.q[0]
+	s := w.q[0]
 	w.q = w.q[1:]
-	if _, err := w.c.wait(ctx, p); err != nil {
+	if _, err := w.c.wait(ctx, s.p); err != nil {
 		w.err = fmt.Errorf("rpc: windowed ack: %w", err)
 		return w.err
 	}
+	if w.adaptive {
+		w.adapt(time.Since(s.start))
+	}
 	return nil
+}
+
+// adapt is the AIMD rule, run per reaped ack under w.mu: an RTT within 2×
+// the smoothed baseline grows the window by one (toward max); an RTT past
+// 4× halves it and restarts the baseline at the spike, so a congested
+// server is not judged against its idle latency forever.
+func (w *AckWindow) adapt(rtt time.Duration) {
+	ns := float64(rtt)
+	if w.ewmaNS == 0 {
+		w.ewmaNS = ns
+		if w.n < w.max {
+			w.n++
+		}
+		return
+	}
+	switch {
+	case ns > 4*w.ewmaNS:
+		w.n = max(1, w.n/2)
+		w.ewmaNS = ns
+		return
+	case ns <= 2*w.ewmaNS && w.n < w.max:
+		w.n++
+	}
+	w.ewmaNS += 0.2 * (ns - w.ewmaNS)
 }
 
 // Flush is the barrier: it blocks until every in-flight frame is acked and
@@ -146,9 +216,9 @@ func (w *AckWindow) Flush(ctx context.Context) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for len(w.q) > 0 {
-		p := w.q[0]
+		s := w.q[0]
 		w.q = w.q[1:]
-		if _, err := w.c.wait(ctx, p); err != nil && w.err == nil {
+		if _, err := w.c.wait(ctx, s.p); err != nil && w.err == nil {
 			w.err = fmt.Errorf("rpc: windowed ack: %w", err)
 		}
 	}

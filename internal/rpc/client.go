@@ -520,6 +520,51 @@ func (c *Client) Groups(ctx context.Context, req GroupsReq) (GroupsInfo, error) 
 	return decodeGroupsInfo(body)
 }
 
+// LeaseStatus asks the server for its current lease term (epoch 0 means
+// leases are disabled or none was ever observed). A pre-lease server
+// answers CodeUnsupported.
+func (c *Client) LeaseStatus(ctx context.Context) (LeaseInfo, error) {
+	body, err := c.call(ctx, MsgLeaseRequest, appendLeaseReq(nil, 0, ""))
+	if err != nil {
+		return LeaseInfo{}, err
+	}
+	return decodeLeaseInfo(body)
+}
+
+// LeaseVote asks the server to vote candidate into epoch. Granted = nil;
+// refused = ErrStaleEpoch (the term is taken, or the sitting leader's lease
+// is still live).
+func (c *Client) LeaseVote(ctx context.Context, epoch uint64, candidate string) error {
+	_, err := c.call(ctx, MsgLeaseRequest, appendLeaseReq(nil, epoch, candidate))
+	return err
+}
+
+// LeaseGrant announces a lease term to the server: a renewal from the
+// leader, or — with info.Transfer — a handoff that makes the receiving
+// follower the leader of the carried epoch.
+func (c *Client) LeaseGrant(ctx context.Context, info LeaseInfo) error {
+	_, err := c.call(ctx, MsgLeaseGrant, appendLeaseInfo(nil, &info))
+	return err
+}
+
+// Handoff asks the server (a lease-holding leader) to hand its write role
+// to the farmerd at target, catching it up first when needed — the wire
+// half of `farmerctl rebalance`.
+func (c *Client) Handoff(ctx context.Context, target string) error {
+	_, err := c.call(ctx, MsgHandoff, appendHandoffReq(nil, target))
+	return err
+}
+
+// WireStats reads the server's per-request-type latency accounting.
+// Control-plane, like Obs.
+func (c *Client) WireStats(ctx context.Context) ([]WireStat, error) {
+	body, err := c.call(ctx, MsgWireStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeWireStats(body)
+}
+
 // Tenants lists the tenants live on the server with a stats snapshot each —
 // the wire half of `farmerctl tenants`.
 func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {

@@ -483,6 +483,99 @@ func (r *Replicator) report(f *replFollower, err error) {
 	}
 }
 
+// RenewLease broadcasts the leader's term to every attached follower as a
+// MsgLeaseGrant on the replication stream (FIFO behind any in-flight
+// records). It reports how many followers acked the renewal and whether any
+// refused it as stale — the leader's signal that a higher epoch exists and
+// it must depose itself. A stale refusal does NOT detach the follower (its
+// replication link is healthy; the leadership is what's wrong); transport
+// errors detach as usual.
+func (r *Replicator) RenewLease(ctx context.Context, info LeaseInfo) (acked int, stale bool) {
+	r.mu.Lock()
+	body := appendLeaseInfo(nil, &info)
+	type grantWait struct {
+		f *replFollower
+		p *pending
+	}
+	waits := make([]grantWait, 0, len(r.followers))
+	for i := 0; i < len(r.followers); i++ {
+		f := r.followers[i]
+		p, err := f.c.start(MsgLeaseGrant, body)
+		if err != nil {
+			r.followers = append(r.followers[:i], r.followers[i+1:]...)
+			i--
+			go r.report(f, err)
+			continue
+		}
+		waits = append(waits, grantWait{f, p})
+	}
+	r.mu.Unlock()
+	for _, w := range waits {
+		wctx, cancel := ctx, context.CancelFunc(func() {})
+		if r.ackTimeout > 0 {
+			wctx, cancel = context.WithTimeout(ctx, r.ackTimeout)
+		}
+		_, err := w.f.c.wait(wctx, w.p)
+		cancel()
+		switch {
+		case err == nil:
+			acked++
+		case errors.Is(err, ErrStaleEpoch):
+			stale = true
+		default:
+			if errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("no lease ack within %v (follower wedged?): %w", r.ackTimeout, err)
+			}
+			r.detach(w.f, err)
+		}
+	}
+	return acked, stale
+}
+
+// TransferLease hands the lease to the attached follower at addr: the
+// transfer grant is started on the follower's replication connection UNDER
+// the stream lock — FIFO behind every record already enqueued, so the
+// follower owns the complete acked stream the moment it adopts the term —
+// and then commit runs, still under the lock, to mark the source stale
+// (commit must not fail: after it, writes on the source refuse typed).
+// The follower's ack is awaited outside the lock. An ack failure after the
+// grant was sent leaves the source deposed — at worst an availability gap
+// until the target's lease expires, never a double-leader window.
+func (r *Replicator) TransferLease(ctx context.Context, addr string, info LeaseInfo, commit func()) error {
+	info.Transfer = true
+	r.mu.Lock()
+	var target *replFollower
+	for _, f := range r.followers {
+		if f.addr == addr {
+			target = f
+			break
+		}
+	}
+	if target == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("rpc: lease transfer to %s: not an attached follower", addr)
+	}
+	p, err := target.c.start(MsgLeaseGrant, appendLeaseInfo(nil, &info))
+	if err != nil {
+		r.mu.Unlock()
+		r.detach(target, err)
+		return fmt.Errorf("rpc: lease transfer to %s: %w", addr, err)
+	}
+	commit()
+	r.mu.Unlock()
+
+	wctx, cancel := ctx, context.CancelFunc(func() {})
+	if r.ackTimeout > 0 {
+		wctx, cancel = context.WithTimeout(ctx, r.ackTimeout)
+	}
+	_, err = target.c.wait(wctx, p)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("rpc: lease transfer to %s: grant sent but not acked (source stays deposed): %w", addr, err)
+	}
+	return nil
+}
+
 // Close detaches every follower, draining their connections gracefully (a
 // clean primary shutdown leaves followers fully caught up, ready for
 // promotion).

@@ -56,6 +56,26 @@ type ReplicaBackend interface {
 	ConnClosed(conn uint64)
 }
 
+// LeaseBackend is the optional lease surface: a backend that also
+// implements it answers MsgLeaseRequest/MsgLeaseGrant frames (see
+// internal/lease). LeaseStatus reports the current term; LeaseVote decides
+// a candidate's election request; LeaseGrant folds a leader's announced
+// term in — the conn argument identifies the connection the grant arrived
+// on, so a transfer grant can be required to travel the pinned replication
+// link. Refusals wrap ErrStaleEpoch and travel as CodeStaleEpoch.
+type LeaseBackend interface {
+	LeaseStatus() LeaseInfo
+	LeaseVote(epoch uint64, candidate string) error
+	LeaseGrant(conn uint64, info LeaseInfo) error
+}
+
+// HandoffBackend is the optional live-handoff surface behind MsgHandoff
+// (`farmerctl rebalance`): a lease-holding leader that implements it ships
+// its state to the target farmerd and transfers the lease.
+type HandoffBackend interface {
+	Handoff(target string) error
+}
+
 // ObsResolver is the optional resolver surface behind MsgObs: one live
 // observability row per tenant, each carrying up to topK correlation
 // groups. The rpc layer stamps the FeedRecords/FeedFrames fields from its
@@ -144,6 +164,17 @@ type feedCounters struct {
 	records obs.Counter
 }
 
+// latCounter is one request type's latency accounting: frames handled and
+// their summed handling time. Padded atomics — always on, two uncontended
+// adds plus two clock reads per request (cheap next to a frame decode).
+type latCounter struct {
+	count obs.Counter
+	sumNS obs.Counter
+}
+
+// latSlots covers every request type (responses 0x40+ never dispatch).
+const latSlots = 64
+
 // Server serves the FARMER wire protocol over a listener. One goroutine per
 // connection reads and handles requests in order; responses go out through
 // a per-connection batching writer, so a pipelining client pays one flush
@@ -163,6 +194,14 @@ type Server struct {
 	obsConns     *obs.Counter
 	feeds        sync.Map
 	feedTenantMu sync.Mutex // serializes feedCounters creation (cold path)
+
+	// Per-request-type wire latency: always maintained (MsgWireStats reads
+	// it whether or not a registry is attached); lat[t] indexes by request
+	// MsgType. latHist mirrors the sums into labeled registry histograms
+	// (farmer_rpc_latency_ns{msg=...}) when a registry is attached — ns, not
+	// seconds, because obs histograms bucket integers by power of two.
+	lat     [latSlots]latCounter
+	latHist [latSlots]*obs.Histogram
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -216,8 +255,23 @@ func NewResolverServer(r Resolver, opts ServerOptions) *Server {
 				return true
 			})
 		})
+		for t := MsgType(1); t < MsgOK; t++ {
+			s.latHist[t] = reg.Histogram("farmer_rpc_latency_ns", obs.L("msg", t.String()))
+		}
 	}
 	return s
+}
+
+// WireStats snapshots the per-request-type latency accounting: one entry
+// per type that handled at least one frame, in type order.
+func (s *Server) WireStats() []WireStat {
+	var out []WireStat
+	for t := 0; t < latSlots; t++ {
+		if n := s.lat[t].count.Load(); n > 0 {
+			out = append(out, WireStat{Type: MsgType(t), Count: n, SumNS: s.lat[t].sumNS.Load()})
+		}
+	}
+	return out
 }
 
 // tenantLabel names the default tenant in metric labels.
@@ -407,7 +461,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.obsFramesIn.Inc()
 		s.obsBytesIn.Add(uint64(4 + frameHeaderMin + len(f.Tenant) + len(f.Body)))
+		t0 := time.Now()
 		out = s.handle(out[:0], cs, &f)
+		if t := f.Type; t < latSlots {
+			ns := uint64(time.Since(t0))
+			s.lat[t].count.Inc()
+			s.lat[t].sumNS.Add(ns)
+			s.latHist[t].Observe(ns)
+		}
 		s.obsBytesOut.Add(uint64(len(out)))
 		if _, err := bw.Write(out); err != nil {
 			return
@@ -437,6 +498,8 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 	// wire so a failing-over (or over-budget) client can match them.
 	backendErr := func(err error) []byte {
 		switch {
+		case errors.Is(err, ErrStaleEpoch):
+			return fail(CodeStaleEpoch, err)
 		case errors.Is(err, ErrNotPrimary):
 			return fail(CodeNotPrimary, err)
 		case errors.Is(err, ErrTenantBudget):
@@ -519,6 +582,13 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 			}
 		}
 		return ok(appendTenantObs(nil, rows))
+	}
+	if f.Type == MsgWireStats {
+		// Control-plane like MsgObs: the latency table is server-wide.
+		if len(f.Body) != 0 {
+			return fail(CodeBadRequest, fmt.Errorf("rpc: wire stats request carries %d body bytes, want 0", len(f.Body)))
+		}
+		return ok(appendWireStats(nil, s.WireStats()))
 	}
 	if !cs.all && cs.allowed != nil && !cs.allowed[f.Tenant] {
 		return fail(CodeUnauthorized, fmt.Errorf("rpc: token not authorized for tenant %q", f.Tenant))
@@ -714,10 +784,58 @@ func (s *Server) handle(dst []byte, cs *connState, f *Frame) []byte {
 			return backendErr(err)
 		}
 		return ok(appendGroupsInfo(nil, info))
+	case MsgLeaseRequest:
+		lb, _ := b.(LeaseBackend)
+		if lb == nil {
+			return fail(CodeUnsupported, errLeaseUnsupported)
+		}
+		epoch, candidate, err := decodeLeaseReq(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		if epoch == 0 {
+			// Status query.
+			info := lb.LeaseStatus()
+			return ok(appendLeaseInfo(nil, &info))
+		}
+		if err := lb.LeaseVote(epoch, candidate); err != nil {
+			return backendErr(err)
+		}
+		return ok(nil)
+	case MsgLeaseGrant:
+		lb, _ := b.(LeaseBackend)
+		if lb == nil {
+			return fail(CodeUnsupported, errLeaseUnsupported)
+		}
+		info, err := decodeLeaseInfo(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		if err := lb.LeaseGrant(conn, info); err != nil {
+			return backendErr(err)
+		}
+		return ok(nil)
+	case MsgHandoff:
+		hb, _ := b.(HandoffBackend)
+		if hb == nil {
+			return fail(CodeUnsupported, errors.New("rpc: backend does not support live handoff"))
+		}
+		target, err := decodeHandoffReq(f.Body)
+		if err != nil {
+			return fail(CodeBadRequest, err)
+		}
+		if err := hb.Handoff(target); err != nil {
+			return backendErr(err)
+		}
+		return ok(nil)
 	default:
 		return fail(CodeUnsupported, fmt.Errorf("rpc: unknown request type %d", f.Type))
 	}
 }
+
+// errLeaseUnsupported answers lease frames sent to a server whose backend
+// has no lease surface (leases disabled, or a pre-lease build).
+var errLeaseUnsupported = errors.New("rpc: backend does not support leases")
 
 // errReplicaUnsupported answers replication frames sent to a server whose
 // backend has no replication surface.

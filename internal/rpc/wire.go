@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"farmer/internal/core"
+	"farmer/internal/lease"
 	"farmer/internal/partition"
 	"farmer/internal/trace"
 	"farmer/internal/vsm"
@@ -153,10 +154,85 @@ const (
 	// fleet-wide, per-tenant successor.)
 	MsgObs
 
+	// Lease frames (see internal/lease and DESIGN.md "Leases, epochs & live
+	// handoff"). MsgLeaseRequest with epoch 0 is a status query — the MsgOK
+	// body is the server's current LeaseInfo — and with epoch > 0 a vote
+	// request for `candidate` at that epoch, answered empty-OK (vote granted)
+	// or CodeStaleEpoch (term already taken, or the sitting leader's lease
+	// is still live). MsgLeaseGrant announces a term: a renewal on the
+	// replication stream, or — with the transfer flag — a live handoff that
+	// makes the receiving follower the leader of the carried epoch.
+	MsgLeaseRequest
+	MsgLeaseGrant
+	// MsgHandoff asks a leader to hand its lease (and its write role) to the
+	// follower at the carried address, catching it up first if needed — the
+	// frame behind `farmerctl rebalance`.
+	MsgHandoff
+	// MsgWireStats reads the server's per-request-type wire latency
+	// accounting: empty request, response a WireStat list. Control-plane,
+	// like MsgObs.
+	MsgWireStats
+
 	// Response frames.
 	MsgOK  MsgType = 0x40
 	MsgErr MsgType = 0x41
 )
+
+// String names a message type for metric labels and the `farmerctl top`
+// latency table.
+func (t MsgType) String() string {
+	switch t {
+	case MsgPing:
+		return "ping"
+	case MsgFeed:
+		return "feed"
+	case MsgFeedBatch:
+		return "feed_batch"
+	case MsgPredict:
+		return "predict"
+	case MsgList:
+		return "list"
+	case MsgStats:
+		return "stats"
+	case MsgSave:
+		return "save"
+	case MsgLoad:
+		return "load"
+	case MsgApplyEvents:
+		return "apply_events"
+	case MsgPromote:
+		return "promote"
+	case MsgCatchup:
+		return "catchup"
+	case MsgReplicate:
+		return "replicate"
+	case MsgGroups:
+		return "groups"
+	case MsgCatchupChunk:
+		return "catchup_chunk"
+	case MsgHello:
+		return "hello"
+	case MsgTenants:
+		return "tenants"
+	case MsgCatchupDelta:
+		return "catchup_delta"
+	case MsgObs:
+		return "obs"
+	case MsgLeaseRequest:
+		return "lease_request"
+	case MsgLeaseGrant:
+		return "lease_grant"
+	case MsgHandoff:
+		return "handoff"
+	case MsgWireStats:
+		return "wire_stats"
+	case MsgOK:
+		return "ok"
+	case MsgErr:
+		return "err"
+	}
+	return fmt.Sprintf("msg_%d", uint8(t))
+}
 
 // Frame is one decoded wire frame.
 type Frame struct {
@@ -286,6 +362,12 @@ const (
 	// server does not speak. Answered once with the server's own version in
 	// the message, then the connection closes. Matched by ErrBadVersion.
 	CodeBadVersion Code = 8
+
+	// CodeStaleEpoch: the request acted under a lease epoch lower than one
+	// the server has observed — a write from a deposed leader, a vote for a
+	// stale candidate, a grant that would regress the term. Matched
+	// client-side by ErrStaleEpoch; the caller seeks the current leader.
+	CodeStaleEpoch Code = 9
 )
 
 // ErrNotPrimary marks a write refused by an un-promoted replication
@@ -304,6 +386,12 @@ var ErrUnauthorized = errors.New("rpc: unauthorized")
 // cap). The refusal is typed so a caller can tell resource pressure from a
 // failure — and the server stays healthy for every other tenant.
 var ErrTenantBudget = errors.New("rpc: tenant budget exceeded")
+
+// ErrStaleEpoch marks an action refused for carrying a lease epoch lower
+// than one already observed. It is the lease package's sentinel so the
+// coordination layer, the wire, and serve.go all agree on one identity;
+// clients treat it like ErrNotPrimary (seek the current leader, retry).
+var ErrStaleEpoch = lease.ErrStaleEpoch
 
 // WireError is a MsgErr response surfaced to the caller.
 type WireError struct {
@@ -325,6 +413,8 @@ func (e *WireError) Is(target error) bool {
 		return e.Code == CodeTenantBudget
 	case ErrBadVersion:
 		return e.Code == CodeBadVersion
+	case ErrStaleEpoch:
+		return e.Code == CodeStaleEpoch
 	}
 	return false
 }
@@ -874,6 +964,147 @@ func decodeTenantInfos(b []byte) ([]TenantInfo, error) {
 	return infos, nil
 }
 
+// ------------------------------------------------------- lease bodies
+
+// LeaseInfo is one lease term on the wire: the epoch, the leader's dial
+// address (leader ids ARE addresses, so a client that learns the holder can
+// go there), the remaining TTL, and two flags — Self ("the answering server
+// is this leader") on status responses, Transfer ("adopt this term as your
+// own and start serving writes") on handoff grants.
+type LeaseInfo struct {
+	Epoch    uint64
+	Leader   string
+	TTLMS    uint64
+	Self     bool
+	Transfer bool
+}
+
+const (
+	leaseFlagSelf     byte = 1 << 0
+	leaseFlagTransfer byte = 1 << 1
+)
+
+// LeaseInfo body: u64 epoch, u64 ttlMS, u8 flags, u8 leaderLen, leader.
+func appendLeaseInfo(dst []byte, info *LeaseInfo) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, info.Epoch)
+	dst = le.AppendUint64(dst, info.TTLMS)
+	var flags byte
+	if info.Self {
+		flags |= leaseFlagSelf
+	}
+	if info.Transfer {
+		flags |= leaseFlagTransfer
+	}
+	dst = append(dst, flags, byte(len(info.Leader)))
+	return append(dst, info.Leader...)
+}
+
+func decodeLeaseInfo(b []byte) (LeaseInfo, error) {
+	if len(b) < 18 {
+		return LeaseInfo{}, fmt.Errorf("rpc: lease info is %d bytes, want >= 18", len(b))
+	}
+	le := binary.LittleEndian
+	flags := b[16]
+	if flags&^(leaseFlagSelf|leaseFlagTransfer) != 0 {
+		return LeaseInfo{}, fmt.Errorf("rpc: lease info has unknown flag bits %#x", flags)
+	}
+	nl := int(b[17])
+	if len(b) != 18+nl {
+		return LeaseInfo{}, fmt.Errorf("rpc: lease info leader length %d does not match body", nl)
+	}
+	return LeaseInfo{
+		Epoch:    le.Uint64(b[:8]),
+		TTLMS:    le.Uint64(b[8:16]),
+		Self:     flags&leaseFlagSelf != 0,
+		Transfer: flags&leaseFlagTransfer != 0,
+		Leader:   string(b[18:]),
+	}, nil
+}
+
+// MsgLeaseRequest body: u64 epoch (0 = status query), u8 candLen, candidate.
+func appendLeaseReq(dst []byte, epoch uint64, candidate string) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	dst = append(dst, byte(len(candidate)))
+	return append(dst, candidate...)
+}
+
+func decodeLeaseReq(b []byte) (epoch uint64, candidate string, err error) {
+	if len(b) < 9 {
+		return 0, "", fmt.Errorf("rpc: lease request is %d bytes, want >= 9", len(b))
+	}
+	nl := int(b[8])
+	if len(b) != 9+nl {
+		return 0, "", fmt.Errorf("rpc: lease request candidate length %d does not match body", nl)
+	}
+	return binary.LittleEndian.Uint64(b[:8]), string(b[9:]), nil
+}
+
+// MsgHandoff body: u16 addrLen, target address.
+func appendHandoffReq(dst []byte, target string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(target)))
+	return append(dst, target...)
+}
+
+func decodeHandoffReq(b []byte) (string, error) {
+	if len(b) < 2 {
+		return "", fmt.Errorf("rpc: handoff body is %d bytes, want >= 2", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b[:2]))
+	if len(b) != 2+n {
+		return "", fmt.Errorf("rpc: handoff target length %d does not match body", n)
+	}
+	if n == 0 {
+		return "", fmt.Errorf("rpc: handoff target is empty")
+	}
+	return string(b[2:]), nil
+}
+
+// WireStat is one request type's server-side latency accounting: how many
+// frames of that type were handled and their summed handling time.
+type WireStat struct {
+	Type  MsgType
+	Count uint64
+	SumNS uint64
+}
+
+// MsgWireStats response body: u32 count, then per entry u8 type, u64 count,
+// u64 sumNS.
+func appendWireStats(dst []byte, stats []WireStat) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(len(stats)))
+	for _, s := range stats {
+		dst = append(dst, byte(s.Type))
+		dst = le.AppendUint64(dst, s.Count)
+		dst = le.AppendUint64(dst, s.SumNS)
+	}
+	return dst
+}
+
+func decodeWireStats(b []byte) ([]WireStat, error) {
+	n, b, err := consumeCount(b, 1+8+8)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	out := make([]WireStat, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 17 {
+			return nil, fmt.Errorf("rpc: wire stat %d truncated", i)
+		}
+		out = append(out, WireStat{
+			Type:  MsgType(b[0]),
+			Count: le.Uint64(b[1:9]),
+			SumNS: le.Uint64(b[9:17]),
+		})
+		b = b[17:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("rpc: %d trailing bytes after wire stats", len(b))
+	}
+	return out, nil
+}
+
 // ------------------------------------------------------- observability bodies
 
 // NeverCheckpointed is the CkptAgeMS value of a tenant that has never
@@ -908,12 +1139,13 @@ type TenantObs struct {
 	CkptDelta     uint64 // incremental checkpoints completed
 	PredPredicted uint64 // prefetch predictions issued
 	PredHits      uint64 // predictions later confirmed by an access
+	LeaseEpoch    uint64 // current lease epoch (0 = leases disabled or none observed)
 	Groups        []ObsGroup
 }
 
 // tenantObsU64s is the fixed per-row section: the TenantObs uint64 fields
 // in declaration order.
-const tenantObsU64s = 14
+const tenantObsU64s = 15
 
 // MsgObs request body: u32 k, u8 flags (must be 0).
 func appendObsReq(dst []byte, k int) []byte {
@@ -932,7 +1164,7 @@ func decodeObsReq(b []byte) (int, error) {
 }
 
 // MsgObs response body: u32 tenantCount, then per tenant u8 nameLen, name,
-// 14 u64 fields (declaration order), u32 groupCount, and per group
+// 15 u64 fields (declaration order), u32 groupCount, and per group
 // u32 seed, u64 strength bits, u32 fileCount, u32 files.
 func appendTenantObs(dst []byte, rows []TenantObs) []byte {
 	le := binary.LittleEndian
@@ -945,7 +1177,7 @@ func appendTenantObs(dst []byte, rows []TenantObs) []byte {
 			r.Fed, r.MemoryBytes, r.TapDepth, r.TapDropped,
 			r.FeedRecords, r.FeedFrames, r.ReplLagMax, r.Followers,
 			r.CkptAgeMS, r.CkptEpoch, r.CkptFull, r.CkptDelta,
-			r.PredPredicted, r.PredHits,
+			r.PredPredicted, r.PredHits, r.LeaseEpoch,
 		} {
 			dst = le.AppendUint64(dst, v)
 		}
@@ -982,7 +1214,7 @@ func decodeTenantObs(b []byte) ([]TenantObs, error) {
 			&r.Fed, &r.MemoryBytes, &r.TapDepth, &r.TapDropped,
 			&r.FeedRecords, &r.FeedFrames, &r.ReplLagMax, &r.Followers,
 			&r.CkptAgeMS, &r.CkptEpoch, &r.CkptFull, &r.CkptDelta,
-			&r.PredPredicted, &r.PredHits,
+			&r.PredPredicted, &r.PredHits, &r.LeaseEpoch,
 		} {
 			*p = le.Uint64(b[:8])
 			b = b[8:]

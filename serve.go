@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"farmer/internal/core"
+	"farmer/internal/lease"
 	"farmer/internal/obs"
 	"farmer/internal/partition"
 	"farmer/internal/rpc"
@@ -63,6 +64,26 @@ type ServeConfig struct {
 	ReplicaToken string
 	// ReplicaTLS, when non-nil, dials followers over TLS.
 	ReplicaTLS *tls.Config
+	// LeaseTTL enables the epoch-versioned ownership layer (internal/lease):
+	// the daemon holds writes behind a lease renewed every TTL/4 — through
+	// the replication stream when followers are configured, so a renewal
+	// needs a follower quorum and a partitioned leader LAPSES within one TTL
+	// and refuses writes typed (ErrStaleEpoch) instead of diverging. An
+	// un-promoted follower whose view of the lease lapsed elects itself
+	// (votes from LeasePeers, then the next epoch) with no farmerctl promote
+	// involved. 0 disables leases and keeps the historical availability-wins
+	// behavior.
+	LeaseTTL time.Duration
+	// LeaseID names this daemon in lease terms and election votes. It
+	// defaults to the listener address, which is what makes the client's
+	// failover sweep able to match a LeaseStatus answer to a dial address.
+	LeaseID string
+	// LeasePeers are the other farmerds asked to vote when this follower
+	// elects itself (typically the sibling followers of one primary). An
+	// election needs (1+len(LeasePeers))/2 granted votes; with no peers a
+	// follower elects alone — the two-node deployment.
+	LeasePeers []string
+
 	// CatchupTail sets how many recent records the primary retains for
 	// delta catch-up: a follower that restarts holding its own on-disk
 	// checkpoint inside that tail is caught up by replaying just the
@@ -110,10 +131,21 @@ type ServeConfig struct {
 // mining truth is the record stream.
 type serveBackend struct {
 	m          *LocalMiner
-	repl       *rpc.Replicator // non-nil on a replicating primary
 	drain      time.Duration
 	saveBudget time.Duration // routine-checkpoint bound (>= drain)
 	logf       func(format string, args ...any)
+
+	// repl is non-nil on a replicating primary. It is guarded by replGate
+	// because a live handoff (MsgHandoff) installs a replicator on a
+	// previously standalone source mid-serve: the install takes the write
+	// side, waiting out every in-flight direct-path feed, so the new
+	// stream's starting position is exactly the miner's record count.
+	replGate sync.RWMutex
+	repl     *rpc.Replicator
+
+	// lease, when non-nil, is the daemon-wide lease machinery shared by
+	// every tenant backend (the daemon leads or follows as a whole).
+	lease *leaseState
 
 	// tenant and budget carry the registry's admission control: feeds are
 	// refused with ErrTenantBudget once the tenant's model footprint
@@ -130,14 +162,69 @@ type serveBackend struct {
 }
 
 var _ rpc.ReplicaBackend = (*serveBackend)(nil)
+var _ rpc.LeaseBackend = (*serveBackend)(nil)
+var _ rpc.HandoffBackend = (*serveBackend)(nil)
+
+// leaseState is the daemon-wide half of the lease layer: one Holder (term
+// algebra), the peer set consulted during elections, and the renewal
+// quorum. serveBackend.leaseLoop drives it; every tenant backend shares it,
+// so "may this daemon serve writes" has exactly one answer.
+type leaseState struct {
+	holder   *lease.Holder
+	peers    []string
+	dialOpts rpc.DialOptions // election vote probes dial peers with these
+	// renewQuorum is how many follower acks a renewal broadcast needs —
+	// half the CONFIGURED follower count, rounded up, not the attached
+	// count: a primary partitioned from its followers must lapse, not
+	// quietly renew against an empty room.
+	renewQuorum int
+	replicaAck  time.Duration
+	logf        func(format string, args ...any)
+
+	handoffs  *obs.Counter   // farmer_handoffs_total
+	handoffNS *obs.Histogram // farmer_handoff_duration_ns
+}
+
+// replicator snapshots the replication handle under the gate (a live
+// handoff may install one on a standalone source mid-serve).
+func (b *serveBackend) replicator() *rpc.Replicator {
+	b.replGate.RLock()
+	defer b.replGate.RUnlock()
+	return b.repl
+}
 
 // writable reports whether this server currently accepts mutations:
-// primaries always, followers only once promoted.
+// primaries always, followers only once promoted — and, when leases are
+// enabled, only while this daemon's lease is live and un-deposed. The
+// lease refusal travels typed (ErrStaleEpoch): the client treats it like
+// ErrNotPrimary and seeks the current leader.
 func (b *serveBackend) writable() error {
 	b.fmu.Lock()
-	defer b.fmu.Unlock()
-	if b.follower && !b.promoted {
+	follower, promoted := b.follower, b.promoted
+	b.fmu.Unlock()
+	if follower && !promoted {
 		return fmt.Errorf("%w: this farmerd is a replication follower; dial its primary or promote it", rpc.ErrNotPrimary)
+	}
+	if ls := b.lease; ls != nil && !ls.holder.Leading() {
+		term, _ := ls.holder.Current()
+		if term.Leader != "" && term.Leader != ls.holder.Self() {
+			return fmt.Errorf("%w: lease epoch %d is held by %q", rpc.ErrStaleEpoch, term.Epoch, term.Leader)
+		}
+		return fmt.Errorf("%w: this farmerd's lease lapsed at epoch %d (renewal quorum lost?)", rpc.ErrStaleEpoch, term.Epoch)
+	}
+	return nil
+}
+
+// leaseStillWritable is the mine-closure re-check: it runs under the
+// replicator's stream lock, where a concurrent lease transfer's commit is
+// serialized, so a feed admitted before the transfer committed aborts here
+// — before mining, before shipping — and the refusal is safe to retry
+// against the new leader (the record was definitely not applied anywhere).
+func (b *serveBackend) leaseStillWritable() error {
+	if ls := b.lease; ls != nil && !ls.holder.Leading() {
+		term, _ := ls.holder.Current()
+		return fmt.Errorf("%w: lease moved to %q (epoch %d) while this feed was in flight",
+			rpc.ErrStaleEpoch, term.Leader, term.Epoch)
 	}
 	return nil
 }
@@ -180,11 +267,16 @@ func (b *serveBackend) Feed(r *trace.Record) error {
 	if err := b.admit(1); err != nil {
 		return err
 	}
+	b.replGate.RLock()
+	defer b.replGate.RUnlock()
 	if b.repl == nil {
 		b.m.sm.Feed(r)
 		return nil
 	}
 	return b.repl.Ingest(context.Background(), []trace.Record{*r}, func() error {
+		if err := b.leaseStillWritable(); err != nil {
+			return err
+		}
 		b.m.sm.Feed(r)
 		return nil
 	})
@@ -197,11 +289,16 @@ func (b *serveBackend) FeedBatch(recs []trace.Record) error {
 	if err := b.admit(len(recs)); err != nil {
 		return err
 	}
+	b.replGate.RLock()
+	defer b.replGate.RUnlock()
 	if b.repl == nil {
 		b.m.sm.FeedBatch(recs)
 		return nil
 	}
 	return b.repl.Ingest(context.Background(), recs, func() error {
+		if err := b.leaseStillWritable(); err != nil {
+			return err
+		}
 		b.m.sm.FeedBatch(recs)
 		return nil
 	})
@@ -222,8 +319,12 @@ func (b *serveBackend) Stats() core.Stats                    { return b.m.sm.Sta
 // worst per-follower lag (primary position minus acked position).
 func (b *serveBackend) TenantObs(topK int) rpc.TenantObs {
 	row := b.m.obsRow(topK)
-	if b.repl != nil {
-		lags := b.repl.Lags()
+	if ls := b.lease; ls != nil {
+		term, _ := ls.holder.Current()
+		row.LeaseEpoch = term.Epoch
+	}
+	if repl := b.replicator(); repl != nil {
+		lags := repl.Lags()
 		row.Followers = uint64(len(lags))
 		for _, l := range lags {
 			if l.Lag > row.ReplLagMax {
@@ -238,7 +339,7 @@ func (b *serveBackend) ApplyEvents(evs []partition.Event) error {
 	if err := b.writable(); err != nil {
 		return err
 	}
-	if b.repl != nil {
+	if b.replicator() != nil {
 		// Event batches bypass the record stream the followers mirror;
 		// accepting them would silently fork primary and follower state.
 		return errors.New("farmer: a replicating primary does not accept external event streams (feed records instead)")
@@ -265,7 +366,7 @@ func (b *serveBackend) Load() error {
 	if err := b.writable(); err != nil {
 		return err
 	}
-	if b.repl != nil {
+	if b.replicator() != nil {
 		return errors.New("farmer: cannot load a checkpoint into a replicating primary (restart it with -load instead)")
 	}
 	ctx, cancel := b.saveCtx()
@@ -279,14 +380,306 @@ func (b *serveBackend) Promote() error {
 	b.fmu.Lock()
 	defer b.fmu.Unlock()
 	if !b.follower || b.promoted {
+		// Already writable in role terms — but under leases "writable" also
+		// demands a live lease: a deposed or lapsed leader must not answer a
+		// failover sweep's Promote with success, or the sweep would steer
+		// writes right back at it.
+		if ls := b.lease; ls != nil && !ls.holder.Leading() {
+			term, _ := ls.holder.Current()
+			return fmt.Errorf("%w: refusing promotion, lease epoch %d is held by %q",
+				rpc.ErrStaleEpoch, term.Epoch, term.Leader)
+		}
 		return nil // already writable: promotion is an idempotent no-op
 	}
 	if b.srcConn != 0 {
 		return fmt.Errorf("%w: refusing promotion, the primary's replication link is live", rpc.ErrNotPrimary)
 	}
+	if ls := b.lease; ls != nil {
+		// Lease-mediated promotion: granted only by winning the next epoch,
+		// which Acquire refuses while another leader's lease is still live —
+		// a reachable-but-lease-expired primary can no longer be contradicted
+		// early, and a deposed one can never be "promoted back" silently.
+		if ls.holder.Leading() {
+			b.promoted = true // the daemon already leads; this tenant joins it
+			return nil
+		}
+		term, err := ls.holder.Acquire()
+		if err != nil {
+			return fmt.Errorf("farmer: refusing promotion: %w", err)
+		}
+		b.promoted = true
+		b.logf("promoted: leading at epoch %d, accepting writes from now on", term.Epoch)
+		return nil
+	}
 	b.promoted = true
 	b.logf("promoted: accepting writes from now on")
 	return nil
+}
+
+// ------------------------------------------------------------ lease surface
+
+// LeaseStatus implements rpc.LeaseBackend: the daemon's current term, TTL
+// and whether it is this daemon's own live lease — the answer the client's
+// failover sweep ranks candidates by. A daemon without leases enabled
+// reports the zero term (epoch 0).
+func (b *serveBackend) LeaseStatus() rpc.LeaseInfo {
+	ls := b.lease
+	if ls == nil {
+		return rpc.LeaseInfo{}
+	}
+	term, _ := ls.holder.Current()
+	return rpc.LeaseInfo{
+		Epoch:  term.Epoch,
+		Leader: term.Leader,
+		TTLMS:  uint64(ls.holder.TTL() / time.Millisecond),
+		Self:   ls.holder.Leading(),
+	}
+}
+
+// LeaseVote decides a candidate's election request. Beyond the Holder's
+// term algebra (the epoch must be new, the sitting lease lapsed), a
+// follower whose primary replication link is still live withholds its
+// vote: a primary it can hear from is not dead, whatever the candidate's
+// clock says.
+func (b *serveBackend) LeaseVote(epoch uint64, candidate string) error {
+	ls := b.lease
+	if ls == nil {
+		return errors.New("farmer: leases are disabled on this farmerd (start it with -lease-ttl)")
+	}
+	b.fmu.Lock()
+	src := b.srcConn
+	b.fmu.Unlock()
+	if src != 0 {
+		return fmt.Errorf("farmer: vote for %q withheld, the primary's replication link is live", candidate)
+	}
+	if err := ls.holder.Vote(epoch, candidate); err != nil {
+		return err
+	}
+	ls.logf("lease: voted for %q at epoch %d", candidate, epoch)
+	return nil
+}
+
+// LeaseGrant folds a leader's announced term in. Renewal grants arrive on
+// the replication stream and just refresh this follower's view (refusing
+// one as stale is how a deposed leader learns it lost). A TRANSFER grant —
+// the last frame of a live handoff — must arrive on the pinned replication
+// link, FIFO behind every record the source acked, and makes this follower
+// the leader of the new epoch on the spot: adopt the term, self-promote,
+// serve writes.
+func (b *serveBackend) LeaseGrant(conn uint64, info rpc.LeaseInfo) error {
+	ls := b.lease
+	if ls == nil {
+		if info.Transfer {
+			return errors.New("farmer: lease transfer to a farmerd without leases enabled (start the target with -lease-ttl)")
+		}
+		return nil // renewal broadcast to a lease-less follower: harmless
+	}
+	if !info.Transfer {
+		return ls.holder.Observe(lease.Term{Epoch: info.Epoch, Leader: info.Leader})
+	}
+	b.fmu.Lock()
+	if !b.follower {
+		b.fmu.Unlock()
+		return errors.New("farmer: lease transfer to a non-follower")
+	}
+	if b.srcConn == 0 || b.srcConn != conn {
+		b.fmu.Unlock()
+		return errors.New("farmer: lease transfer outside the pinned replication link")
+	}
+	b.fmu.Unlock()
+	// Adopt the transferred epoch with SELF as leader (the source's name for
+	// this node is its dial address, which may not match LeaseID textually).
+	// The epoch is strictly above everything observed on this link, so the
+	// Observe cannot fail.
+	if err := ls.holder.Observe(lease.Term{Epoch: info.Epoch, Leader: ls.holder.Self()}); err != nil {
+		return err
+	}
+	b.fmu.Lock()
+	b.promoted = true
+	b.fmu.Unlock()
+	b.logf("lease transferred: leading at epoch %d, accepting writes", info.Epoch)
+	return nil
+}
+
+// Handoff implements rpc.HandoffBackend (`farmerctl rebalance`): ship this
+// daemon's state to the target over the existing catch-up machinery, then
+// hand it the lease. The transfer grant is started on the target's
+// replication connection UNDER the stream lock — FIFO behind every record
+// this source ever acked — and the source is marked stale in the same
+// critical section, so a feed racing the handoff either lands before the
+// grant (the target replays it) or aborts typed (ErrStaleEpoch, never
+// mined anywhere): acked-record loss is zero by construction.
+func (b *serveBackend) Handoff(target string) error {
+	ls := b.lease
+	if ls == nil {
+		return errors.New("farmer: live handoff needs leases (start this farmerd with -lease-ttl)")
+	}
+	if b.tenant != "" {
+		return errors.New("farmer: rebalance moves the whole daemon; address it without -tenant")
+	}
+	if err := b.writable(); err != nil {
+		return err
+	}
+	start := time.Now()
+	rp, err := b.handoffReplicator(ls)
+	if err != nil {
+		return err
+	}
+	attached := false
+	for _, addr := range rp.Followers() {
+		if addr == target {
+			attached = true
+		} else {
+			return fmt.Errorf("farmer: refusing handoff to %s while also replicating to %s (the stream cannot split leaders)", target, addr)
+		}
+	}
+	if !attached {
+		if err := rp.Attach(context.Background(), target, b.m.catchupCut); err != nil {
+			return err
+		}
+		b.logf("handoff: target %s caught up and attached", target)
+	}
+	term, _ := ls.holder.Current()
+	next := lease.Term{Epoch: term.Epoch + 1, Leader: target}
+	info := rpc.LeaseInfo{Epoch: next.Epoch, Leader: target, TTLMS: uint64(ls.holder.TTL() / time.Millisecond)}
+	err = rp.TransferLease(context.Background(), target, info, func() {
+		// Commit, under the stream lock: observing the next epoch with the
+		// target as leader deposes this source. next.Epoch is strictly above
+		// everything this holder observed, so the Observe cannot fail.
+		_ = ls.holder.Observe(next)
+	})
+	if err != nil {
+		return err
+	}
+	ls.handoffs.Inc()
+	ls.handoffNS.Observe(uint64(time.Since(start)))
+	b.logf("handoff: lease transferred to %s at epoch %d in %v; this farmerd now refuses writes",
+		target, next.Epoch, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// handoffReplicator returns the backend's replicator, installing one on a
+// standalone source: the install takes the write side of replGate, waiting
+// out every in-flight direct-path feed, so the stream position is exactly
+// the miner's record count when the target's catch-up cut is taken.
+func (b *serveBackend) handoffReplicator(ls *leaseState) (*rpc.Replicator, error) {
+	if rp := b.replicator(); rp != nil {
+		return rp, nil
+	}
+	b.replGate.Lock()
+	defer b.replGate.Unlock()
+	if b.repl == nil {
+		rp := rpc.NewReplicator(b.m.sm.Fed(), ls.replicaAck, func(addr string, err error) {
+			b.logf("handoff target %s dropped from replication: %v", addr, err)
+		})
+		rp.SetDialOptions(ls.dialOpts)
+		b.repl = rp
+	}
+	return b.repl, nil
+}
+
+// ------------------------------------------------------- lease renewal loop
+
+// leaseLoop drives the daemon's lease at TTL/4: a leader renews its term
+// (through the replication stream when followers are configured), an
+// un-promoted follower whose view of the lease lapsed elects itself. Runs
+// on the default tenant's backend until ctx is done.
+func (b *serveBackend) leaseLoop(ctx context.Context, ls *leaseState) {
+	period := max(ls.holder.TTL()/4, 10*time.Millisecond)
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		b.fmu.Lock()
+		follower, promoted, src := b.follower, b.promoted, b.srcConn
+		b.fmu.Unlock()
+		if !follower || promoted {
+			b.renewTick(ctx, ls)
+		} else {
+			b.electTick(ctx, ls, src)
+		}
+	}
+}
+
+// renewTick extends the leader's lease. With configured followers the
+// renewal is a MsgLeaseGrant broadcast on the replication stream needing a
+// quorum of acks, so a partitioned leader LAPSES within one TTL and starts
+// refusing writes typed — the split-brain rule: once leases are on, safety
+// beats availability. A refusal as stale means a higher epoch exists
+// somewhere; the leader deposes itself immediately.
+func (b *serveBackend) renewTick(ctx context.Context, ls *leaseState) {
+	term, _ := ls.holder.Current()
+	if term.Leader != ls.holder.Self() || ls.holder.Deposed() {
+		return // deposed, or handed off: this daemon no longer renews
+	}
+	rp := b.replicator()
+	if rp == nil || ls.renewQuorum == 0 {
+		_ = ls.holder.Renew()
+		return
+	}
+	info := rpc.LeaseInfo{Epoch: term.Epoch, Leader: term.Leader, TTLMS: uint64(ls.holder.TTL() / time.Millisecond)}
+	rctx, cancel := context.WithTimeout(ctx, ls.holder.TTL())
+	acked, stale := rp.RenewLease(rctx, info)
+	cancel()
+	switch {
+	case stale:
+		ls.holder.Depose()
+		ls.logf("lease: renewal refused as stale, a higher epoch exists; deposed, refusing writes")
+	case acked >= ls.renewQuorum:
+		_ = ls.holder.Renew()
+	default:
+		ls.logf("lease: renewal acked by %d/%d followers, quorum not met; lease will lapse", acked, ls.renewQuorum)
+	}
+}
+
+// electTick is follower self-election: once a leader was observed (epoch >
+// 0), its lease lapsed, and its replication link is gone, the follower
+// asks each configured peer to vote it the next epoch; with a majority of
+// peer votes (none needed without peers — the two-node deployment) it
+// acquires the term and promotes itself. No farmerctl promote involved.
+func (b *serveBackend) electTick(ctx context.Context, ls *leaseState, src uint64) {
+	term, remaining := ls.holder.Current()
+	if src != 0 || term.Epoch == 0 || remaining > 0 {
+		return
+	}
+	next := term.Epoch + 1
+	votes := 0
+	for _, peer := range ls.peers {
+		if b.voteFrom(ctx, ls, peer, next) {
+			votes++
+		}
+	}
+	if need := (1 + len(ls.peers)) / 2; votes < need {
+		ls.logf("lease: election for epoch %d got %d/%d peer votes; retrying", next, votes, need)
+		return
+	}
+	won, err := ls.holder.Acquire()
+	if err != nil {
+		ls.logf("lease: election for epoch %d lost: %v", next, err)
+		return
+	}
+	b.fmu.Lock()
+	b.promoted = true
+	b.fmu.Unlock()
+	ls.logf("lease: elected at epoch %d after the leader's lease lapsed; accepting writes", won.Epoch)
+}
+
+// voteFrom asks one peer for its vote. Any failure — unreachable peer, a
+// stale refusal, a peer that heard from the sitting leader more recently —
+// is a withheld vote, never fatal: the next tick retries.
+func (b *serveBackend) voteFrom(ctx context.Context, ls *leaseState, peer string, epoch uint64) bool {
+	vctx, cancel := context.WithTimeout(ctx, ls.holder.TTL())
+	defer cancel()
+	c, err := rpc.DialWith(vctx, peer, ls.dialOpts)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	return c.LeaseVote(vctx, epoch, ls.holder.Self()) == nil
 }
 
 func (b *serveBackend) Catchup(conn uint64, cut rpc.CatchupCut) error {
@@ -398,11 +791,11 @@ func (b *serveBackend) Groups(req rpc.GroupsReq) (rpc.GroupsInfo, error) {
 		return err
 	}
 	var err error
-	if b.repl != nil {
+	if repl := b.replicator(); repl != nil {
 		// The cut rides the replication stream at the current position, so
 		// every follower executes it at the same record boundary and the
 		// group fingerprints stay comparable.
-		err = b.repl.Groups(context.Background(), req, run)
+		err = repl.Groups(context.Background(), req, run)
 	} else {
 		err = run()
 	}
@@ -461,15 +854,39 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 	if cfg.Follower && len(cfg.ReplicateTo) > 0 {
 		return errors.New("farmer: a follower cannot replicate onward (chained replication is not supported)")
 	}
+	if cfg.LeaseTTL <= 0 && len(cfg.LeasePeers) > 0 {
+		return errors.New("farmer: LeasePeers without LeaseTTL (enable leases with -lease-ttl)")
+	}
+	if cfg.ReplicaAckTimeout <= 0 {
+		cfg.ReplicaAckTimeout = 30 * time.Second
+	}
 	saveBudget := cfg.CheckpointTimeout
 	if saveBudget <= 0 {
 		saveBudget = max(cfg.DrainTimeout, cfg.Checkpoint, time.Minute)
 	}
 	backend := &serveBackend{m: m, drain: cfg.DrainTimeout, saveBudget: saveBudget, logf: cfg.Logf, follower: cfg.Follower}
-	if len(cfg.ReplicateTo) > 0 {
-		if cfg.ReplicaAckTimeout <= 0 {
-			cfg.ReplicaAckTimeout = 30 * time.Second
+	var leaseSt *leaseState
+	if cfg.LeaseTTL > 0 {
+		id := cfg.LeaseID
+		if id == "" {
+			id = lis.Addr().String()
 		}
+		leaseSt = &leaseState{
+			holder:      lease.NewHolder(id, cfg.LeaseTTL, nil),
+			peers:       cfg.LeasePeers,
+			dialOpts:    rpc.DialOptions{Token: cfg.ReplicaToken, TLS: cfg.ReplicaTLS},
+			renewQuorum: (1 + len(cfg.ReplicateTo)) / 2,
+			replicaAck:  cfg.ReplicaAckTimeout,
+			logf:        cfg.Logf,
+		}
+		backend.lease = leaseSt
+		if !cfg.Follower {
+			// A fresh holder has observed nothing, so this cannot fail.
+			term, _ := leaseSt.holder.Acquire()
+			cfg.Logf("lease: leading at epoch %d (id %s, ttl %v)", term.Epoch, id, cfg.LeaseTTL)
+		}
+	}
+	if len(cfg.ReplicateTo) > 0 {
 		backend.repl = rpc.NewReplicator(m.sm.Fed(), cfg.ReplicaAckTimeout, func(addr string, err error) {
 			cfg.Logf("follower %s dropped from replication: %v", addr, err)
 		})
@@ -484,6 +901,14 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 			}
 			cfg.Logf("follower %s caught up and attached", addr)
 		}
+		if leaseSt != nil && !cfg.Follower {
+			// Announce the lease term to the just-attached followers now
+			// rather than at the first renewal tick: a leader that dies
+			// inside that first TTL/4 window would otherwise leave followers
+			// that never observed any lease — and a follower that has seen
+			// no epoch refuses to elect itself.
+			backend.renewTick(ctx, leaseSt)
+		}
 	}
 	if cfg.Obs != nil {
 		m.AttachMetrics(cfg.Obs)
@@ -495,13 +920,30 @@ func Serve(ctx context.Context, lis net.Listener, m *LocalMiner, cfg ServeConfig
 			})
 			cfg.Obs.GaugeFunc("farmer_repl_followers", func() float64 { return float64(len(repl.Lags())) })
 		}
+		if leaseSt != nil {
+			cfg.Obs.GaugeFunc("farmer_lease_epoch", func() float64 {
+				term, _ := leaseSt.holder.Current()
+				return float64(term.Epoch)
+			})
+			leaseSt.handoffs = cfg.Obs.Counter("farmer_handoffs_total")
+			leaseSt.handoffNS = cfg.Obs.Histogram("farmer_handoff_duration_ns")
+		}
 	}
 	reg := newRegistry(cfg, saveBudget)
+	reg.leaseSt = leaseSt
 	reg.registerDefault(m, backend)
 	defer reg.closeReplicators()
 	srv := rpc.NewResolverServer(reg, rpc.ServerOptions{AuthTokens: cfg.AuthTokens, Obs: cfg.Obs})
 	if cfg.TLS != nil {
 		lis = tls.NewListener(lis, cfg.TLS)
+	}
+
+	if leaseSt != nil {
+		// Cancel on return, not just on ctx: the listener-failure path must
+		// not leave the renewal loop running through the drain.
+		lctx, stopLease := context.WithCancel(ctx)
+		defer stopLease()
+		go backend.leaseLoop(lctx, leaseSt)
 	}
 
 	serveErr := make(chan error, 1)

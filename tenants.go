@@ -100,6 +100,7 @@ type Registry struct {
 	replicaAck  time.Duration
 	replicaOpts rpc.DialOptions // token/TLS half; Tenant is stamped per tenant
 	ckptTail    int             // delta catch-up tail per tenant replicator (0 = disabled)
+	leaseSt     *leaseState     // daemon-wide lease, shared by every tenant backend (nil = disabled)
 
 	mu      sync.Mutex
 	tenants map[string]*tenantEntry
@@ -220,6 +221,7 @@ func (g *Registry) openLocked(tenant string) (*tenantEntry, error) {
 		m: m, drain: g.drain, saveBudget: g.saveBudget,
 		logf:     func(format string, args ...any) { g.logf("tenant %q: "+format, append([]any{tenant}, args...)...) },
 		follower: g.follower, tenant: tenant, budget: bud,
+		lease: g.leaseSt,
 	}
 	b.memPending.Store(budgetCheckStride) // first feed checks the footprint
 	if len(g.replicateTo) > 0 {
@@ -342,8 +344,8 @@ func (g *Registry) evictIdle() {
 // holding everything the primary acked. Idempotent.
 func (g *Registry) closeReplicators() {
 	for _, e := range g.snapshot() {
-		if e.backend.repl != nil {
-			e.backend.repl.Close()
+		if repl := e.backend.replicator(); repl != nil {
+			repl.Close()
 		}
 	}
 }
